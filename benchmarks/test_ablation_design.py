@@ -1,0 +1,88 @@
+"""Ablations — remaining design choices from DESIGN.md §6.
+
+* activation thresholds t1/t2/t3 (always-steal vs gated vs never),
+* hub caching on/off,
+* cost-model arm (oracle / learned / uniform) on a DLB-heavy workload.
+"""
+
+from conftest import emit
+from repro.bench import Cell, run_cell
+from repro.core import GumConfig
+
+
+def _run_thresholds(model):
+    arms = {
+        "never": GumConfig(fsteal=False, osteal=False, cost_model=model),
+        "gated (default)": GumConfig(cost_model=model),
+        "always": GumConfig(
+            cost_model=model, t1_min_edges=0, t2_imbalance_edges=0,
+            t2_imbalance_ratio=0.0, t3_runtime_seconds=1.0,
+            osteal_cooldown=1,
+        ),
+    }
+    lines = ["Ablation: stealing-activation thresholds "
+             "(SSSP on WB, 8 GPUs)", "",
+             "policy            total(ms)  overhead(ms)  steals"]
+    totals = {}
+    for name, config in arms.items():
+        result = run_cell(Cell("gum", "sssp", "WB", 8),
+                          gum_config=config)
+        totals[name] = result.total_seconds
+        steals = sum(r.fsteal_applied for r in result.iterations)
+        lines.append(
+            f"{name:16s}  {result.total_ms:9.1f}  "
+            f"{result.breakdown.overhead * 1e3:12.2f}  {steals:6d}"
+        )
+    return lines, totals
+
+
+def _run_hub_cache(model):
+    lines = ["", "Ablation: hub caching (SSSP on SW, seg partition)",
+             "", "arm        total(ms)"]
+    totals = {}
+    for name, hub in (("hub on", True), ("hub off", False)):
+        config = GumConfig(cost_model=model, hub_cache=hub,
+                           t4_hub_in_degree=32)
+        result = run_cell(
+            Cell("gum", "sssp", "SW", 8, "seg"), gum_config=config
+        )
+        totals[name] = result.total_seconds
+        lines.append(f"{name:9s}  {result.total_ms:9.1f}")
+    return lines, totals
+
+
+def _run_cost_model_arms():
+    lines = ["", "Ablation: cost-model arm (SSSP on SW, 8 GPUs)", "",
+             "arm       total(ms)"]
+    totals = {}
+    for arm in ("oracle", "default", "uniform"):
+        result = run_cell(Cell("gum", "sssp", "SW", 8),
+                          gum_config=GumConfig(cost_model=arm))
+        totals[arm] = result.total_seconds
+        lines.append(f"{arm:8s}  {result.total_ms:9.1f}")
+    return lines, totals
+
+
+def _run_all(gum_config):
+    model = gum_config.cost_model
+    t_lines, thresholds = _run_thresholds(model)
+    h_lines, hubs = _run_hub_cache(model)
+    c_lines, arms = _run_cost_model_arms()
+    return "\n".join(t_lines + h_lines + c_lines), thresholds, hubs, arms
+
+
+def test_ablation_design_choices(benchmark, gum_config):
+    text, thresholds, hubs, arms = benchmark.pedantic(
+        _run_all, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("ablation_design", text)
+    # gated stealing beats never stealing
+    assert thresholds["gated (default)"] < thresholds["never"]
+    # gating does not lose much versus always-steal (and avoids its
+    # overhead on sparse iterations)
+    assert thresholds["gated (default)"] < thresholds["always"] * 1.15
+    # hub caching never hurts on a hub-heavy graph
+    assert hubs["hub on"] <= hubs["hub off"] * 1.01
+    # the learned model lands between uniform and oracle
+    assert arms["oracle"] <= arms["default"] * 1.05
+    assert arms["default"] <= arms["uniform"] * 1.10

@@ -1,0 +1,54 @@
+"""Extension — delta-PageRank, the paper's third LT-afflicted workload.
+
+The introduction names delta-PageRank alongside SSSP and BFS as an
+algorithm whose "long-tailed phenomenon significantly limits
+scalability": as residuals drain, active sets shrink to a trickle and
+synchronization dominates. The paper never evaluates it; this
+extension does, showing that OSteal's group folding transfers to the
+incremental-PageRank workload unchanged.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import Cell, run_cell, switch_points
+from repro.core import GumConfig
+
+
+def _run_delta_pr(gum_config):
+    model = gum_config.cost_model
+    lines = ["Extension: delta-PageRank under the long tail", ""]
+    gains = {}
+    for graph in ("U2", "USA"):
+        on = run_cell(Cell("gum", "dpr", graph, 8),
+                      gum_config=gum_config)
+        off = run_cell(
+            Cell("gum", "dpr", graph, 8),
+            gum_config=GumConfig(fsteal=True, osteal=False,
+                                 cost_model=model),
+        )
+        sizes = [r.frontier_size for r in on.iterations]
+        shrink = sizes[0] / max(1, sizes[-1])
+        gains[graph] = off.total_seconds / on.total_seconds
+        events = switch_points(on.group_size_series())
+        lines += [
+            f"[{graph}] {on.num_iterations} rounds; active set "
+            f"{sizes[0]} -> {sizes[-1]} ({shrink:.0f}x shrink)",
+            f"  group-size switches: {events[:12]}",
+            f"  sync: {off.breakdown.sync * 1e3:.1f} -> "
+            f"{on.breakdown.sync * 1e3:.1f} ms, end-to-end gain "
+            f"{gains[graph]:.2f}x",
+            "",
+        ]
+        assert np.allclose(on.values, off.values)
+    return "\n".join(lines), gains
+
+
+def test_extension_delta_pagerank(benchmark, gum_config):
+    text, gains = benchmark.pedantic(
+        _run_delta_pr, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("extension_delta_pagerank", text)
+    # OSteal must not hurt, and must help on the road network
+    assert gains["USA"] > 1.0
+    assert gains["U2"] > 0.95

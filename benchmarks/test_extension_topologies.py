@@ -1,0 +1,67 @@
+"""Extension — GUM on other interconnect topologies.
+
+The conclusion conjectures that GUM's design "may also benefit other
+...asymmetric link-topology clusters". This extension runs the same
+workload on three 8-GPU machines — the DGX-1 hybrid cube mesh, a
+plain NVLink ring, and an NVSwitch-like all-to-all — and shows that
+(a) the stealing machinery adapts to each topology without changes
+and (b) richer interconnects make stealing cheaper and the run faster.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import algorithm_params, cached_partition, prepare_graph
+from repro.core import GumConfig, GumEngine
+from repro.hardware import dgx1, fully_connected, ring_topology
+
+TOPOLOGIES = {
+    "dgx1 cube mesh": lambda: dgx1(8),
+    "nvlink ring": lambda: ring_topology(8, lanes=2),
+    "nvswitch all-to-all": lambda: fully_connected(8, lanes=2),
+}
+
+
+def _run_topologies(gum_config):
+    graph = prepare_graph("SW", "sssp")
+    partition = cached_partition(graph, 8, "random")
+    params = algorithm_params("sssp", "SW")
+    lines = [
+        "Extension: GUM across interconnect topologies "
+        "(SSSP on SW, 8 GPUs)",
+        "",
+        "topology              aggregate_bw  total(ms)  stall  stolen",
+    ]
+    totals = {}
+    for name, factory in TOPOLOGIES.items():
+        topology = factory()
+        engine = GumEngine(
+            topology, config=GumConfig(cost_model=gum_config.cost_model)
+        )
+        result = engine.run(graph, partition, "sssp", **params)
+        totals[name] = result.total_seconds
+        stolen = sum(r.stolen_edges for r in result.iterations)
+        lines.append(
+            f"{name:20s}  {topology.aggregate_bandwidth(range(8)):10.0f}"
+            f"  {result.total_ms:9.1f}  {result.stall_fraction():5.0%}"
+            f"  {stolen:6d}"
+        )
+        totals[f"{name}/values"] = result.values
+    baseline = totals["dgx1 cube mesh/values"]
+    for name in TOPOLOGIES:
+        assert np.allclose(totals[f"{name}/values"], baseline)
+    return "\n".join(lines), totals
+
+
+def test_extension_topologies(benchmark, gum_config):
+    text, totals = benchmark.pedantic(
+        _run_topologies, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("extension_topologies", text)
+    # richer interconnects help (small tolerance: cheaper links invite
+    # more stealing, whose migration costs eat part of the gain)
+    assert (
+        totals["nvswitch all-to-all"]
+        <= totals["dgx1 cube mesh"] * 1.05
+    )
+    assert totals["dgx1 cube mesh"] <= totals["nvlink ring"] * 1.02

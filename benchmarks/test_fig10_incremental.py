@@ -1,0 +1,87 @@
+"""Figure 10 (Exp-5) — incremental speedups of GUM's optimizations.
+
+Speedup over the Gunrock baseline on a scale-free graph (soc-orkut
+stand-in) and a long-diameter graph (road-USA stand-in), adding one
+feature at a time: the bare engine, +opt (common intra-GPU
+optimizations: message aggregation, direction switching), +FSteal,
++OSteal. Paper: the bare engine matches Gunrock, FSteal buys ~3.2x on
+traversal algorithms, OSteal dominates on road networks, PR benefits
+least from FSteal.
+"""
+
+from conftest import emit
+from repro.bench import Cell, format_table, run_cell
+from repro.core import GumConfig
+from repro.runtime import EngineOptions
+
+ALGORITHMS = ("bfs", "wcc", "pr", "sssp")
+GRAPHS = ("OR", "USA")
+
+NO_OPT = EngineOptions(
+    aggregate_messages=False, direction_optimized_bfs=False
+)
+
+
+def _arms(model):
+    no_steal = dict(fsteal=False, osteal=False, hub_cache=False,
+                    cost_model=model)
+    return [
+        ("baseline", GumConfig(**no_steal), NO_OPT),
+        ("+opt", GumConfig(**no_steal), None),
+        ("+fsteal", GumConfig(fsteal=True, osteal=False, hub_cache=True,
+                              cost_model=model), None),
+        ("+osteal", GumConfig(fsteal=True, osteal=True, hub_cache=True,
+                              cost_model=model), None),
+    ]
+
+
+def _run_incremental(gum_config):
+    model = gum_config.cost_model
+    sections = []
+    speedups = {}
+    for graph in GRAPHS:
+        cells = {}
+        for algorithm in ALGORITHMS:
+            reference = run_cell(Cell("gunrock", algorithm, graph, 8))
+            for arm_name, config, options in _arms(model):
+                result = run_cell(
+                    Cell("gum", algorithm, graph, 8),
+                    gum_config=config, options=options,
+                )
+                speedup = reference.total_seconds / result.total_seconds
+                cells[(arm_name, algorithm)] = speedup
+                speedups[(graph, algorithm, arm_name)] = speedup
+        sections.append(
+            format_table(
+                rows=[arm for arm, __, __ in _arms(model)],
+                columns=list(ALGORITHMS),
+                cells=cells,
+                title=f"Fig 10 [{graph}] — speedup over Gunrock "
+                      "(higher is better)",
+                unit="x speedup",
+            )
+        )
+    return "\n\n".join(sections), speedups
+
+
+def test_fig10_incremental(benchmark, gum_config):
+    text, speedups = benchmark.pedantic(
+        _run_incremental, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("fig10_incremental", text)
+    # features stack: each arm at least roughly preserves the previous
+    for graph in GRAPHS:
+        for algorithm in ALGORITHMS:
+            base = speedups[(graph, algorithm, "baseline")]
+            full = speedups[(graph, algorithm, "+osteal")]
+            assert full >= base * 0.9
+    # FSteal moves traversal algorithms more than PR (paper's claim)
+    fsteal_gain = lambda g, a: (
+        speedups[(g, a, "+fsteal")] / speedups[(g, a, "+opt")]
+    )
+    assert fsteal_gain("OR", "sssp") > fsteal_gain("OR", "pr") * 0.95
+    # OSteal is the decisive feature on the road network
+    assert (
+        speedups[("USA", "sssp", "+osteal")]
+        > speedups[("USA", "sssp", "+opt")]
+    )

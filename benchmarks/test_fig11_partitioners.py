@@ -1,0 +1,72 @@
+"""Figure 11 (Exp-6) — work stealing across partitioners.
+
+SSSP on OR, U2, LJ under the three partitioner families (seg / random /
+metis-like), with and without stealing. The paper reports stealing
+gains of 1.25-1.63x (seg), 1.24-2.29x (random), 1.19-1.60x (metis):
+stealing rectifies whatever workload distribution the static
+partitioner produced.
+"""
+
+from conftest import emit
+from repro.bench import Cell, format_table, run_cell
+from repro.core import GumConfig
+
+GRAPHS = ("OR", "U2", "LJ")
+PARTITIONERS = ("seg", "random", "metis")
+
+
+def _run_partitioners(gum_config):
+    model = gum_config.cost_model
+    no_steal = GumConfig(fsteal=False, osteal=False, cost_model=model)
+    cells = {}
+    gains = {}
+    for graph in GRAPHS:
+        for partitioner in PARTITIONERS:
+            base = run_cell(
+                Cell("gum", "sssp", graph, 8, partitioner),
+                gum_config=no_steal,
+            )
+            steal = run_cell(
+                Cell("gum", "sssp", graph, 8, partitioner),
+                gum_config=gum_config,
+            )
+            cells[(partitioner, graph)] = base.total_ms
+            cells[(f"{partitioner}+S", graph)] = steal.total_ms
+            gains[(partitioner, graph)] = (
+                base.total_seconds / steal.total_seconds
+            )
+    rows = []
+    for partitioner in PARTITIONERS:
+        rows += [partitioner, f"{partitioner}+S"]
+    table = format_table(
+        rows=rows, columns=list(GRAPHS), cells=cells,
+        title="Fig 11 — SSSP virtual ms by partitioner "
+              "(+S = stealing enabled)",
+        best_of_column=True,
+    )
+    gain_lines = [
+        f"stealing gain on {partitioner}: "
+        + ", ".join(
+            f"{graph}={gains[(partitioner, graph)]:.2f}x"
+            for graph in GRAPHS
+        )
+        for partitioner in PARTITIONERS
+    ]
+    gain_lines.append(
+        "(paper: seg 1.25-1.63x, random 1.24-2.29x, metis 1.19-1.60x)"
+    )
+    return table + "\n\n" + "\n".join(gain_lines), gains
+
+
+def test_fig11_partitioners(benchmark, gum_config):
+    text, gains = benchmark.pedantic(
+        _run_partitioners, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("fig11_partitioners", text)
+    # stealing helps under every partitioner on every graph
+    for key, gain in gains.items():
+        assert gain > 1.0, key
+    # the sloppier the partitioner, the more stealing rectifies:
+    # random gains at least as much as the locality-aware seg on average
+    avg = lambda p: sum(gains[(p, g)] for g in GRAPHS) / len(GRAPHS)
+    assert avg("random") > 0.9 * avg("seg")

@@ -1,0 +1,59 @@
+"""Figure 6 (Exp-2) — GUM runtime breakdown at 1/2/4/8 GPUs.
+
+One representative large graph per domain (the paper uses five large
+graphs); the breakdown buckets are the paper's: computation,
+communication (incl. starvation), serialization, synchronization, and
+overhead (ID conversion + stealing decisions).
+"""
+
+from conftest import emit
+from repro.bench import Cell, format_breakdown, run_cell
+
+GRAPHS = ("OR", "U5", "USA")
+ALGORITHMS = ("bfs", "wcc", "pr", "sssp")
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+def _run_breakdowns(gum_config):
+    sections = []
+    speedups = {}
+    for algorithm in ALGORITHMS:
+        for graph in GRAPHS:
+            labels = []
+            rows = []
+            totals = {}
+            for gpus in GPU_COUNTS:
+                result = run_cell(
+                    Cell("gum", algorithm, graph, gpus),
+                    gum_config=gum_config,
+                )
+                labels.append(f"{gpus} GPU{'s' if gpus > 1 else ''}")
+                rows.append(result.breakdown.scaled_ms())
+                totals[gpus] = result.total_seconds
+            speedups[(algorithm, graph)] = totals[1] / totals[8]
+            sections.append(
+                format_breakdown(
+                    labels, rows,
+                    title=f"Fig 6 [{algorithm.upper()} on {graph}] — "
+                          "GUM breakdown",
+                )
+            )
+    sections.append(
+        "8-GPU speedups over 1 GPU: "
+        + ", ".join(
+            f"{a}/{g}={s:.2f}x" for (a, g), s in sorted(speedups.items())
+        )
+    )
+    return "\n\n".join(sections), speedups
+
+
+def test_fig6_breakdown(benchmark, gum_config):
+    text, speedups = benchmark.pedantic(
+        _run_breakdowns, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("fig6_breakdown", text)
+    # paper: near-linear scaling on the compute-bound social workloads
+    assert speedups[("pr", "OR")] > 4.0
+    assert speedups[("bfs", "OR")] > 2.0
+    # road networks scale worse (the LT regime caps parallel efficiency)
+    assert speedups[("sssp", "USA")] < speedups[("pr", "OR")]

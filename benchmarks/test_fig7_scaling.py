@@ -1,0 +1,71 @@
+"""Figure 7 (Exp-2) — strong scaling of GUM vs Gunrock vs Groute.
+
+Runtime at 1..8 GPUs on one graph per domain. Expected shape:
+
+* GUM keeps scaling to 8 GPUs;
+* Gunrock's SSSP is fast at 1 GPU (near-far) but scales poorly;
+* Groute is strong at 1 GPU (async, no sync) and at even GPU counts,
+  and degrades at odd counts that cannot form an NVLink ring.
+"""
+
+from conftest import emit
+from repro.bench import Cell, format_table, run_cell
+
+GRAPHS = ("OR", "U5", "USA")
+ALGORITHMS = ("bfs", "sssp", "pr")
+GPU_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+ENGINES = ("gunrock", "groute", "gum")
+
+
+def _run_scaling(gum_config):
+    sections = []
+    data = {}
+    for algorithm in ALGORITHMS:
+        for graph in GRAPHS:
+            cells = {}
+            for engine in ENGINES:
+                for gpus in GPU_COUNTS:
+                    result = run_cell(
+                        Cell(engine, algorithm, graph, gpus),
+                        gum_config=gum_config,
+                    )
+                    cells[(engine, str(gpus))] = result.total_ms
+                    data[(engine, algorithm, graph, gpus)] = (
+                        result.total_seconds
+                    )
+            sections.append(
+                format_table(
+                    rows=list(ENGINES),
+                    columns=[str(g) for g in GPU_COUNTS],
+                    cells=cells,
+                    title=f"Fig 7 [{algorithm.upper()} on {graph}] — "
+                          "virtual ms vs #GPUs",
+                    best_of_column=True,
+                )
+            )
+    return "\n\n".join(sections), data
+
+
+def test_fig7_scaling(benchmark, gum_config):
+    text, data = benchmark.pedantic(
+        _run_scaling, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("fig7_scaling", text)
+    # GUM scales: 8 GPUs beat 1 GPU on the big social workload
+    assert data[("gum", "pr", "OR", 8)] < data[("gum", "pr", "OR", 1)]
+    # GUM wins at full scale on every shown workload
+    for algorithm in ALGORITHMS:
+        for graph in GRAPHS:
+            gum8 = data[("gum", algorithm, graph, 8)]
+            assert gum8 <= data[("gunrock", algorithm, graph, 8)] * 1.05
+            assert gum8 <= data[("groute", algorithm, graph, 8)] * 1.05
+    # Groute odd-count pathology: parallel efficiency dips at 5 GPUs
+    # (no NVLink ring exists; some hops fall back to PCIe), below both
+    # even neighbors
+    def efficiency(gpus):
+        return data[("groute", "bfs", "OR", 1)] / (
+            gpus * data[("groute", "bfs", "OR", gpus)]
+        )
+
+    assert efficiency(5) < efficiency(4)
+    assert efficiency(5) < efficiency(6)

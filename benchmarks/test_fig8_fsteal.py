@@ -1,0 +1,74 @@
+"""Figure 8 (Exp-3) — FSteal load-balance effectiveness.
+
+SSSP on the sinaweibo stand-in, 8 GPUs, frontier stealing on vs off.
+The paper highlights the two busiest iterations: without FSteal the
+fast GPUs waste most of their cycles waiting (72%/67% in the paper);
+with FSteal the stall collapses (to ~4%), and transit GPUs may steal
+while being stolen from (the NVLink-asymmetry effect).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import Cell, run_cell
+from repro.core import GumConfig
+
+
+def _per_gpu_rows(record):
+    busy = record.busy_seconds * 1e3
+    stall = record.stall_seconds * 1e3
+    lines = ["  gpu   busy(ms)  stall(ms)  stall%"]
+    critical = busy.max()
+    for gpu in range(busy.size):
+        share = stall[gpu] / critical if critical > 0 else 0.0
+        lines.append(
+            f"  {gpu:3d}  {busy[gpu]:9.3f}  {stall[gpu]:9.3f}  {share:6.0%}"
+        )
+    return lines
+
+
+def _run_fsteal_comparison(gum_config):
+    on_config = GumConfig(
+        fsteal=True, osteal=False, cost_model=gum_config.cost_model,
+    )
+    off_config = GumConfig(fsteal=False, osteal=False,
+                           cost_model=gum_config.cost_model)
+    on = run_cell(Cell("gum", "sssp", "SW", 8), gum_config=on_config)
+    off = run_cell(Cell("gum", "sssp", "SW", 8), gum_config=off_config)
+    # the two busiest iterations, as in the paper's #5/#6
+    busiest = np.argsort(
+        [-r.frontier_edges for r in off.iterations]
+    )[:2]
+    lines = ["Figure 8: FSteal effectiveness (SSSP on SW, 8 GPUs)", ""]
+    for idx in sorted(busiest.tolist()):
+        rec_off, rec_on = off.iterations[idx], on.iterations[idx]
+        lines.append(
+            f"iteration #{idx} without FSteal "
+            f"(wall {rec_off.wall_seconds * 1e3:.2f} ms):"
+        )
+        lines += _per_gpu_rows(rec_off)
+        lines.append(
+            f"iteration #{idx} with FSteal "
+            f"(wall {rec_on.wall_seconds * 1e3:.2f} ms, "
+            f"stolen {rec_on.stolen_edges} edges):"
+        )
+        lines += _per_gpu_rows(rec_on)
+        lines.append("")
+    lines += [
+        f"run stall fraction: without = {off.stall_fraction():.0%}, "
+        f"with = {on.stall_fraction():.0%} (paper: 72% -> 4%)",
+        f"end-to-end: without = {off.total_ms:.1f} ms, "
+        f"with = {on.total_ms:.1f} ms "
+        f"({off.total_seconds / on.total_seconds:.2f}x)",
+    ]
+    return "\n".join(lines), on, off
+
+
+def test_fig8_fsteal_effectiveness(benchmark, gum_config):
+    text, on, off = benchmark.pedantic(
+        _run_fsteal_comparison, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("fig8_fsteal", text)
+    assert on.stall_fraction() < 0.5 * off.stall_fraction()
+    assert on.total_seconds < off.total_seconds
+    assert np.allclose(on.values, off.values)

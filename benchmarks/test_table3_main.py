@@ -1,0 +1,61 @@
+"""Table III (Exp-1) — GUM vs Gunrock vs Groute, 4 algorithms x 15 graphs.
+
+All systems run on the same 8-GPU virtual DGX-1 with the same random
+partition, as in the paper. Expected shape (not absolute numbers):
+
+* GUM wins broadly, especially traversal algorithms (BFS/SSSP);
+* the largest factors appear on road networks (the LT regime);
+* Groute wins WCC on road networks (asynchronous local convergence);
+* Groute's PageRank is the worst column (async re-propagation tax).
+"""
+
+from conftest import emit
+from repro.bench import Cell, format_table, run_cell
+from repro.graph import datasets
+
+ENGINES = ("gunrock", "groute", "gum")
+ALGORITHMS = ("bfs", "wcc", "pr", "sssp")
+
+
+def _run_table(gum_config):
+    sections = []
+    wins = {engine: 0 for engine in ENGINES}
+    for algorithm in ALGORITHMS:
+        cells = {}
+        for graph in datasets.dataset_names():
+            for engine in ENGINES:
+                result = run_cell(
+                    Cell(engine, algorithm, graph, 8),
+                    gum_config=gum_config,
+                )
+                cells[(engine, graph)] = result.total_ms
+            best = min(ENGINES,
+                       key=lambda e: cells[(e, graph)])
+            wins[best] += 1
+        sections.append(
+            format_table(
+                rows=list(ENGINES),
+                columns=datasets.dataset_names(),
+                cells=cells,
+                title=f"Table III [{algorithm.upper()}] — virtual ms, "
+                      "8 GPUs, random partition",
+                best_of_column=True,
+            )
+        )
+    total = sum(wins.values())
+    sections.append(
+        "column wins: "
+        + ", ".join(f"{engine}={wins[engine]}/{total}"
+                    for engine in ENGINES)
+    )
+    return "\n\n".join(sections), wins
+
+
+def test_table3_main_results(benchmark, gum_config):
+    text, wins = benchmark.pedantic(
+        _run_table, args=(gum_config,), rounds=1, iterations=1
+    )
+    emit("table3_main", text)
+    # the headline claim: GUM wins the majority of cells
+    assert wins["gum"] > wins["gunrock"]
+    assert wins["gum"] > wins["groute"]

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Road-network routing: SSSP and the long-tail problem.
+
+The second motivating workload: shortest paths over a road network,
+whose enormous diameter produces thousands of near-empty iterations
+where synchronization overhead dominates (the LT problem). This
+example runs SSSP on the road-USA stand-in and visualizes OSteal's
+group-size switching — the reproduction of the paper's Figure 9
+behaviour as a library user would see it.
+
+Run:  python examples/road_navigation.py
+"""
+
+import numpy as np
+
+import repro
+from repro.bench import switch_points
+
+
+def main() -> None:
+    graph = repro.datasets.load("USA")
+    weighted = repro.with_random_weights(graph, seed=11)
+    print(f"graph: {weighted}")
+    print(f"pseudo-diameter ~ {repro.graph.pseudo_diameter(graph)} "
+          "(the LT ingredient)\n")
+
+    partition = repro.random_partition(weighted, 8, seed=0)
+    source = int(np.argmax(weighted.out_degrees()))
+
+    # GUM with OSteal (the default).
+    engine = repro.GumEngine(repro.dgx1(8))
+    result = engine.run(weighted, partition, "sssp", source=source)
+    reachable = np.isfinite(result.values)
+    print(f"SSSP from {source}: {int(reachable.sum())} reachable, "
+          f"mean distance {result.values[reachable].mean():.1f}")
+    print(f"virtual runtime: {result.total_ms:.1f} ms over "
+          f"{result.num_iterations} iterations\n")
+
+    print("OSteal switching (iteration -> active GPU count):")
+    events = switch_points(result.group_size_series())
+    for iteration, group in events[:20]:
+        print(f"  iteration {iteration:5d}: n = {group}")
+    if len(events) > 20:
+        print(f"  ... {len(events) - 20} more switches")
+
+    # What the long tail costs without OSteal.
+    config = repro.GumConfig(fsteal=True, osteal=False)
+    flat = repro.GumEngine(repro.dgx1(8), config=config).run(
+        weighted, partition, "sssp", source=source
+    )
+    print(f"\nsynchronization time: "
+          f"{flat.breakdown.sync * 1e3:.1f} ms without OSteal vs "
+          f"{result.breakdown.sync * 1e3:.1f} ms with")
+    print(f"end-to-end: {flat.total_ms:.1f} -> {result.total_ms:.1f} ms "
+          f"({flat.total_seconds / result.total_seconds:.2f}x)")
+
+    # Point-to-point query on top of the SSSP field.
+    target = int(np.argmax(np.where(reachable, result.values, -1)))
+    print(f"\nfarthest reachable vertex: {target} at distance "
+          f"{result.values[target]:.0f}")
+
+
+if __name__ == "__main__":
+    main()

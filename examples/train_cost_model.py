@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Training the per-edge cost model (paper Section III-B / Exp-7).
+
+Collects running logs (frontier features + observed per-edge cost)
+from a corpus of generated graphs, trains the four model families the
+paper compares, and shows the accuracy/performance trade-off that
+leads GUM to pick polynomial regression.
+
+Run:  python examples/train_cost_model.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core import (
+    MODEL_FAMILIES,
+    GumConfig,
+    collect_training_data,
+    default_training_corpus,
+    rmsre,
+)
+
+
+def main() -> None:
+    print("collecting running logs from the training corpus ...")
+    corpus = default_training_corpus()
+    features, costs = collect_training_data(corpus)
+    print(f"  {features.shape[0]} samples x {features.shape[1]} features "
+          f"from {len(corpus)} graphs x 4 algorithms")
+    print(f"  target range: {costs.min() * 1e9:.2f} .. "
+          f"{costs.max() * 1e9:.2f} ns/edge\n")
+
+    rng = np.random.default_rng(0)
+    order = rng.permutation(costs.size)
+    split = int(0.8 * costs.size)
+    train, test = order[:split], order[split:]
+
+    print(f"{'model':12s} {'train RMSRE':>12s} {'test RMSRE':>12s} "
+          f"{'train time':>11s}")
+    trained = {}
+    for name, factory in MODEL_FAMILIES.items():
+        model = factory()
+        report = model.fit(features[train], costs[train])
+        test_error = rmsre(model.predict(features[test]), costs[test])
+        trained[name] = model
+        print(f"{name:12s} {report.train_rmsre:12.3f} "
+              f"{test_error:12.3f} {report.train_seconds:10.2f}s")
+
+    # Plug a trained model into the arbitrator and measure the effect.
+    print("\nreplaying FSteal-driven SSSP with each model ...")
+    graph = repro.datasets.load("SW")
+    weighted = repro.with_random_weights(graph, seed=11)
+    partition = repro.random_partition(weighted, 8, seed=0)
+    source = int(np.argmax(weighted.out_degrees()))
+
+    oracle = repro.GumEngine(
+        repro.dgx1(8), config=GumConfig(cost_model="oracle")
+    ).run(weighted, partition, "sssp", source=source)
+    print(f"  oracle costs : {oracle.total_ms:9.1f} virtual ms")
+    for name in ("linear", "polynomial"):
+        engine = repro.GumEngine(
+            repro.dgx1(8), config=GumConfig(cost_model=trained[name])
+        )
+        result = engine.run(weighted, partition, "sssp", source=source)
+        retained = oracle.total_seconds / result.total_seconds
+        print(f"  {name:12s}: {result.total_ms:9.1f} virtual ms "
+              f"({retained:.0%} of oracle performance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""repro — a reproduction of GUM (ICDE 2023) on a simulated multi-GPU machine.
+
+GUM ("Efficient Multi-GPU Graph Processing with Remote Work Stealing",
+Meng et al., ICDE 2023) attacks two utilization killers in multi-GPU
+graph analytics — dynamic load imbalance (DLB) and the long tail (LT)
+— with two NVLink-topology-aware stealing mechanisms:
+
+* **FSteal** (frontier stealing): a per-iteration min-max MILP
+  redistributes frontier edges across GPUs using learned cost
+  coefficients ``c_ij = 1/B_ij + g(W_i)``;
+* **OSteal** (ownership stealing): a reduction tree folds the worker
+  group when synchronization overhead ``p*m`` dominates tiny tail
+  iterations.
+
+This package implements the complete system — graph substrate,
+edge-cut partitioners, a calibrated virtual multi-GPU machine with
+asymmetric NVLink topology, a BSP runtime, the GUM arbitrator, and
+behavioural models of the Gunrock and Groute baselines — in pure
+Python/NumPy. See DESIGN.md for the hardware-substitution rationale
+and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    import repro
+
+    graph = repro.datasets.load("LJ")
+    partition = repro.random_partition(graph, 8)
+    engine = repro.GumEngine(repro.dgx1(8))
+    result = engine.run(graph, partition, "bfs", source=0)
+    print(f"{result.total_ms:.1f} virtual ms, "
+          f"stall {result.stall_fraction():.0%}")
+"""
+
+from repro import config
+from repro.errors import (
+    ConvergenceError,
+    CostModelError,
+    EngineError,
+    GraphError,
+    PartitionError,
+    ReproError,
+    SolverError,
+    TopologyError,
+)
+from repro.graph import (
+    CSRGraph,
+    from_edge_arrays,
+    from_edges,
+    load_edge_list,
+    load_matrix_market,
+    rmat,
+    road_network,
+    symmetrize,
+    web_graph,
+    with_random_weights,
+)
+from repro.graph import datasets
+from repro.partition import (
+    Partition,
+    make_partition,
+    metis_like_partition,
+    random_partition,
+    segmented_partition,
+)
+from repro.hardware import (
+    DeviceModel,
+    GPUSpec,
+    TimingModel,
+    Topology,
+    dgx1,
+    fully_connected,
+    ring_topology,
+    single_gpu,
+)
+from repro.runtime import (
+    BSPEngine,
+    EngineOptions,
+    Frontier,
+    RunResult,
+    StaticScheduler,
+    TimeBreakdown,
+)
+from repro.algorithms import ALGORITHMS, make_algorithm
+from repro.core import (
+    GumConfig,
+    GumEngine,
+    GumScheduler,
+    HubCache,
+    ReductionTree,
+    pretrained_default,
+)
+from repro.baselines import GrouteEngine, GunrockEngine
+from repro.facade import run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "datasets",
+    # errors
+    "ReproError",
+    "GraphError",
+    "PartitionError",
+    "TopologyError",
+    "SolverError",
+    "EngineError",
+    "ConvergenceError",
+    "CostModelError",
+    # graph
+    "CSRGraph",
+    "from_edges",
+    "from_edge_arrays",
+    "load_edge_list",
+    "load_matrix_market",
+    "symmetrize",
+    "rmat",
+    "web_graph",
+    "road_network",
+    "with_random_weights",
+    # partition
+    "Partition",
+    "random_partition",
+    "segmented_partition",
+    "metis_like_partition",
+    "make_partition",
+    # hardware
+    "GPUSpec",
+    "Topology",
+    "dgx1",
+    "ring_topology",
+    "fully_connected",
+    "single_gpu",
+    "DeviceModel",
+    "TimingModel",
+    # runtime
+    "Frontier",
+    "BSPEngine",
+    "EngineOptions",
+    "StaticScheduler",
+    "RunResult",
+    "TimeBreakdown",
+    # algorithms
+    "ALGORITHMS",
+    "make_algorithm",
+    # core (GUM)
+    "GumEngine",
+    "GumConfig",
+    "GumScheduler",
+    "HubCache",
+    "ReductionTree",
+    "pretrained_default",
+    # baselines
+    "GunrockEngine",
+    "GrouteEngine",
+    "run",
+    "__version__",
+]

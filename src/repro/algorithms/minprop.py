@@ -1,0 +1,104 @@
+"""Shared machinery for monotone min-propagation algorithms.
+
+BFS, SSSP, and WCC are all instances of the same pattern: every vertex
+holds a value that only ever *decreases*, and a superstep relaxes the
+frontier's out-edges, activating every vertex whose value improved.
+:class:`MinPropagation` implements the pattern once — including the
+masked ``local_step`` the asynchronous (Groute-model) engine uses to
+run a fragment to its local fixed point, which is sound precisely
+because the propagation is monotone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmState, GASAlgorithm
+from repro.graph.csr import CSRGraph
+from repro.graph.gather import gather_edge_positions
+from repro.runtime.frontier import Frontier
+
+__all__ = ["MinPropagation"]
+
+
+class MinPropagation(GASAlgorithm):
+    """Base class: min-aggregation over out-edges.
+
+    Subclasses implement :meth:`candidates` (the value each edge
+    offers its destination) and :meth:`init`.
+    """
+
+    monotonic = True
+
+    def candidates(
+        self,
+        values: np.ndarray,
+        sources: np.ndarray,
+        weights: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Candidate value delivered along each edge."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _scratch(self, graph: CSRGraph, state: AlgorithmState) -> np.ndarray:
+        scratch = state.aux.get("scratch")
+        if scratch is None:
+            scratch = np.full(graph.num_vertices, np.inf)
+            state.aux["scratch"] = scratch
+        return scratch
+
+    def _relax(
+        self,
+        graph: CSRGraph,
+        state: AlgorithmState,
+        sources: np.ndarray,
+        positions: np.ndarray,
+    ) -> Frontier:
+        """Apply min-relaxation along the given edges; return activated."""
+        if sources.size == 0:
+            return Frontier.empty()
+        destinations = graph.indices[positions]
+        weights = (
+            graph.weights[positions] if graph.weights is not None else None
+        )
+        cand = self.candidates(state.values, sources, weights)
+        scratch = self._scratch(graph, state)
+        touched = np.unique(destinations)
+        np.minimum.at(scratch, destinations, cand)
+        improved = touched[scratch[touched] < state.values[touched]]
+        state.values[improved] = scratch[improved]
+        scratch[touched] = np.inf  # reset for the next call
+        return Frontier.from_sorted(improved)
+
+    # ------------------------------------------------------------------
+    def step(self, graph: CSRGraph, state: AlgorithmState) -> Frontier:
+        """Relax all out-edges of the frontier."""
+        sources, positions = gather_edge_positions(
+            graph, state.frontier.vertices
+        )
+        return self._relax(graph, state, sources, positions)
+
+    def local_step(
+        self,
+        graph: CSRGraph,
+        state: AlgorithmState,
+        frontier: Frontier,
+        allowed_mask: np.ndarray,
+    ) -> Frontier:
+        """Relax only edges selected by ``allowed_mask`` (CSR order)."""
+        sources, positions = gather_edge_positions(graph, frontier.vertices)
+        keep = allowed_mask[positions]
+        return self._relax(graph, state, sources[keep], positions[keep])
+
+    # ------------------------------------------------------------------
+    def _initial_state(
+        self, graph: CSRGraph, values: np.ndarray, frontier: Frontier
+    ) -> AlgorithmState:
+        return AlgorithmState(values=values, frontier=frontier)
+
+    def init(self, graph: CSRGraph, **params: Any) -> AlgorithmState:
+        """Create the initial state (see the class docstring
+        for parameters)."""
+        raise NotImplementedError

@@ -1,0 +1,47 @@
+"""Weakly connected components via HashMin label propagation.
+
+Every vertex starts labelled with its own id; labels propagate along
+edges taking the minimum, so each component converges to its smallest
+member's id. Requires a symmetric edge set (``needs_symmetric``) —
+the benchmark runner symmetrizes directed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmState
+from repro.algorithms.minprop import MinPropagation
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.runtime.frontier import Frontier
+
+__all__ = ["WCC"]
+
+
+class WCC(MinPropagation):
+    """Connected components; no ``init`` params."""
+
+    name = "wcc"
+    needs_symmetric = True
+
+    def candidates(
+        self,
+        values: np.ndarray,
+        sources: np.ndarray,
+        weights: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Each edge offers the source's current label."""
+        return values[sources]
+
+    def init(self, graph: CSRGraph, **params: Any) -> AlgorithmState:
+        """Create the initial state (see the class docstring
+        for parameters)."""
+        if params:
+            raise EngineError(f"unknown WCC params: {sorted(params)}")
+        values = np.arange(graph.num_vertices, dtype=np.float64)
+        return self._initial_state(
+            graph, values, Frontier.full(graph.num_vertices)
+        )

@@ -1,0 +1,8 @@
+"""Baseline system models: Gunrock (BSP), Groute (async ring), and
+classic reactive work stealing (peek-and-grab)."""
+
+from repro.baselines.gunrock import GunrockEngine
+from repro.baselines.groute import GrouteEngine
+from repro.baselines.peeksteal import PeekStealScheduler
+
+__all__ = ["GunrockEngine", "GrouteEngine", "PeekStealScheduler"]

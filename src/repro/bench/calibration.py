@@ -1,0 +1,81 @@
+"""Virtual-machine calibration report.
+
+Summarizes the simulated platform the way a systems paper's "setup"
+section would: device constants, link bandwidths, per-edge cost ranges,
+and the derived regime boundaries (when is an iteration sync-bound?).
+Useful for sanity-checking the DESIGN.md §5 story against the code, and
+exposed on the CLI roadmap as a debugging aid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import config
+from repro.graph.features import FrontierFeatures
+from repro.hardware.device import DeviceModel
+from repro.hardware.timing import TimingModel
+from repro.hardware.topology import Topology
+
+__all__ = ["calibration_summary", "format_calibration"]
+
+
+def calibration_summary(topology: Topology) -> Dict[str, float]:
+    """Machine constants and derived regime numbers, as a flat dict."""
+    timing = TimingModel(topology)
+    device = DeviceModel(topology.gpu, noise_amplitude=0.0)
+    easy = FrontierFeatures(4.0, 4.0, 0.0, 0.0, 0.05, 0.9, 100, 400)
+    hard = FrontierFeatures(200.0, 200.0, 2000.0, 2000.0, 0.85, 0.8,
+                            100, 20000)
+    eff = topology.effective_bandwidth_matrix()
+    off_diagonal = eff[~np.eye(topology.num_gpus, dtype=bool)]
+    sync8 = timing.sync_seconds(topology.num_gpus)
+    cheap_cost = device.true_edge_cost(easy)
+    return {
+        "edge_scale": float(config.EDGE_SCALE),
+        "bytes_per_edge": float(config.BYTES_PER_EDGE),
+        "local_bandwidth_gbps": topology.gpu.local_bandwidth_gbps,
+        "min_remote_bandwidth_gbps": float(off_diagonal.min())
+        if off_diagonal.size else float("nan"),
+        "max_remote_bandwidth_gbps": float(off_diagonal.max())
+        if off_diagonal.size else float("nan"),
+        "edge_cost_easy_us": cheap_cost * 1e6,
+        "edge_cost_hard_us": device.true_edge_cost(hard) * 1e6,
+        "remote_edge_tax_fastest_us": timing.comm_seconds_per_edge(
+            0, topology.num_gpus - 1
+        ) * 1e6 if topology.num_gpus > 1 else 0.0,
+        "sync_full_group_us": sync8 * 1e6,
+        "sync_single_us": timing.sync_seconds(1) * 1e6,
+        "kernel_launch_us": topology.gpu.kernel_launch_us,
+        # an iteration is sync-bound below this many (simulated) edges
+        # per worker at the cheap edge cost
+        "sync_bound_below_edges_per_worker": (
+            sync8 / max(topology.num_gpus, 1) / cheap_cost
+        ),
+    }
+
+
+def format_calibration(topology: Topology) -> str:
+    """Human-readable calibration report."""
+    summary = calibration_summary(topology)
+    lines = [f"virtual machine calibration — {topology!r}", ""]
+    labels = {
+        "edge_scale": "simulated-edge scale (original edges per edge)",
+        "bytes_per_edge": "bytes touched per simulated edge",
+        "local_bandwidth_gbps": "local HBM bandwidth (GB/s)",
+        "min_remote_bandwidth_gbps": "slowest remote path (GB/s)",
+        "max_remote_bandwidth_gbps": "fastest remote path (GB/s)",
+        "edge_cost_easy_us": "per-edge compute, easy frontier (us)",
+        "edge_cost_hard_us": "per-edge compute, hostile frontier (us)",
+        "remote_edge_tax_fastest_us": "remote-access tax per edge (us)",
+        "sync_full_group_us": "sync cost, full group (us/iteration)",
+        "sync_single_us": "sync cost, single worker (us/iteration)",
+        "kernel_launch_us": "kernel launch latency (us)",
+        "sync_bound_below_edges_per_worker":
+            "sync-bound below (edges/worker/iteration)",
+    }
+    for key, label in labels.items():
+        lines.append(f"  {label:48s} {summary[key]:12.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""ASCII reporting helpers that mirror the paper's tables and figures.
+
+Benchmarks print through these so their output reads like the paper's
+artifacts: Table III's runtime grid, Figure 6's stacked breakdowns,
+Figure 9's group-size switch points, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_breakdown", "format_series",
+           "switch_points"]
+
+
+def format_table(
+    rows: Sequence[str],
+    columns: Sequence[str],
+    cells: Mapping[tuple, float],
+    title: str = "",
+    unit: str = "ms",
+    best_of_column: bool = False,
+) -> str:
+    """Render a row x column grid of numbers.
+
+    ``cells`` maps ``(row, column)`` to a value; missing cells print
+    as ``-``. With ``best_of_column``, the smallest value per column
+    is marked with ``*`` (the paper bolds winners per graph).
+    """
+    col_width = max(8, max((len(c) for c in columns), default=8) + 1)
+    row_width = max(10, max((len(r) for r in rows), default=10) + 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * row_width + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    winners = {}
+    if best_of_column:
+        for column in columns:
+            present = [
+                (cells[(row, column)], row)
+                for row in rows
+                if (row, column) in cells
+            ]
+            if present:
+                winners[column] = min(present)[1]
+    for row in rows:
+        out = row.ljust(row_width)
+        for column in columns:
+            value = cells.get((row, column))
+            if value is None:
+                out += "-".rjust(col_width)
+                continue
+            mark = "*" if winners.get(column) == row else ""
+            out += f"{value:.2f}{mark}".rjust(col_width)
+        lines.append(out)
+    if unit:
+        lines.append(f"(values in {unit}; * = column best)"
+                     if best_of_column else f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    labels: Sequence[str],
+    breakdowns: Sequence[Mapping[str, float]],
+    title: str = "",
+) -> str:
+    """Render per-run time breakdowns as aligned columns (Figure 6)."""
+    buckets = ["compute", "communication", "serialization", "sync",
+               "overhead", "total"]
+    width = max(12, max((len(label) for label in labels), default=12) + 1)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * width + "".join(b.rjust(15) for b in buckets))
+    for label, breakdown in zip(labels, breakdowns):
+        row = label.ljust(width)
+        for bucket in buckets:
+            row += f"{breakdown.get(bucket, 0.0):.3f}".rjust(15)
+        lines.append(row)
+    lines.append("(milliseconds)")
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence,
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 24,
+) -> str:
+    """Render an (x, y) series, downsampled to ``max_points`` rows."""
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    step = max(1, n // max_points)
+    picked = list(range(0, n, step))
+    if picked[-1] != n - 1:
+        picked.append(n - 1)
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for idx in picked:
+        lines.append(f"  {xs[idx]!s:>10} -> {ys[idx]:.4g}")
+    return "\n".join(lines)
+
+
+def switch_points(series: Sequence[int]) -> List[tuple]:
+    """Indices where a step series changes value (Figure 9's events)."""
+    events = []
+    previous: Optional[int] = None
+    for index, value in enumerate(series):
+        if previous is None or value != previous:
+            events.append((index, value))
+            previous = value
+    return events

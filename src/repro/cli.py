@@ -1,0 +1,224 @@
+"""Command-line interface: run experiments without writing Python.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro topology --gpus 8
+    python -m repro run --graph LJ --algorithm bfs --engine gum
+    python -m repro run --graph USA --algorithm sssp --engine gum \
+        --gpus 4 --partitioner metis --no-osteal --json
+    python -m repro compare --graph TX --algorithm sssp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import __version__
+from repro.algorithms import ALGORITHMS
+from repro.bench import Cell, run_cell
+from repro.bench.workloads import ENGINE_NAMES
+from repro.core import GumConfig
+from repro.graph import datasets
+from repro.graph.properties import degree_summary, pseudo_diameter
+from repro.hardware import dgx1
+from repro.partition.partitioners import PARTITIONERS
+from repro.runtime import RunResult
+
+__all__ = ["main", "build_parser", "result_summary"]
+
+
+def result_summary(result: RunResult) -> dict:
+    """JSON-friendly summary of a run (used by ``--json``)."""
+    return {
+        "engine": result.engine,
+        "algorithm": result.algorithm,
+        "graph": result.graph_name,
+        "num_gpus": result.num_gpus,
+        "total_ms": result.total_ms,
+        "iterations": result.num_iterations,
+        "converged": result.converged,
+        "stall_fraction": result.stall_fraction(),
+        "breakdown_ms": result.breakdown.scaled_ms(),
+        "stolen_edges": int(
+            sum(r.stolen_edges for r in result.iterations)
+        ),
+        "min_group_size": (
+            min(result.group_size_series())
+            if result.iterations else result.num_gpus
+        ),
+        "real_decision_ms": result.real_decision_seconds * 1e3,
+    }
+
+
+def _gum_config_from_args(args: argparse.Namespace) -> GumConfig:
+    return GumConfig(
+        fsteal=not args.no_fsteal,
+        osteal=not args.no_osteal,
+        hub_cache=not args.no_hub_cache,
+        solver=args.solver,
+        cost_model=args.cost_model,
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'abbr':5s} {'original':18s} {'domain':6s} "
+          f"{'|V|':>8s} {'|E|':>9s} {'diam~':>6s} {'gini':>5s}")
+    for abbr, spec in datasets.DATASETS.items():
+        if args.domain and spec.domain != args.domain:
+            continue
+        graph = datasets.load(abbr)
+        summary = degree_summary(graph)
+        print(f"{abbr:5s} {spec.original_name:18s} {spec.domain:6s} "
+              f"{graph.num_vertices:8d} {graph.num_edges:9d} "
+              f"{pseudo_diameter(graph):6d} {summary.gini:5.2f}")
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    from repro.bench.calibration import format_calibration
+
+    print(format_calibration(dgx1(args.gpus)))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    topology = dgx1(args.gpus)
+    np.set_printoptions(precision=1, suppress=True, linewidth=120)
+    print(f"{topology!r}")
+    print("NVLink lanes:")
+    print(topology.lane_matrix)
+    print("effective bandwidth (GB/s):")
+    print(topology.effective_bandwidth_matrix())
+    ring = topology.find_ring()
+    print(f"NVLink ring: {ring if ring else 'none (odd sub-topology)'}")
+    return 0
+
+
+def _run_one(args: argparse.Namespace, engine: str) -> RunResult:
+    return run_cell(
+        Cell(engine, args.algorithm, args.graph, args.gpus,
+             args.partitioner),
+        gum_config=_gum_config_from_args(args),
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = _run_one(args, args.engine)
+    if args.json:
+        print(json.dumps(result_summary(result), indent=2))
+        return 0
+    print(f"{result.engine}/{result.algorithm} on {result.graph_name} "
+          f"({result.num_gpus} GPUs, {args.partitioner} partition):")
+    print(f"  virtual time : {result.total_ms:10.2f} ms "
+          f"({result.num_iterations} iterations, "
+          f"converged={result.converged})")
+    print(f"  stall        : {result.stall_fraction():10.1%}")
+    for bucket, ms in result.breakdown.scaled_ms().items():
+        print(f"  {bucket:13s}: {ms:10.2f} ms")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for engine in ENGINE_NAMES:
+        result = _run_one(args, engine)
+        rows.append((engine, result))
+    best = min(rows, key=lambda row: row[1].total_seconds)[0]
+    if args.json:
+        print(json.dumps(
+            {engine: result_summary(result) for engine, result in rows},
+            indent=2,
+        ))
+        return 0
+    print(f"{args.algorithm} on {args.graph} ({args.gpus} GPUs):")
+    for engine, result in rows:
+        marker = "  <-- best" if engine == best else ""
+        print(f"  {engine:8s}: {result.total_ms:10.2f} ms "
+              f"({result.num_iterations} iters){marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GUM reproduction: multi-GPU graph processing with "
+                    "remote work stealing, on a simulated machine.",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser(
+        "datasets", help="list the bundled Table-II graph stand-ins"
+    )
+    p_datasets.add_argument("--domain", choices=("SN", "WG", "RN"),
+                            default="")
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_topology = sub.add_parser(
+        "topology", help="show the virtual NVLink topology"
+    )
+    p_topology.add_argument("--gpus", type=int, default=8,
+                            choices=range(1, 9))
+    p_topology.set_defaults(func=_cmd_topology)
+
+    p_calibration = sub.add_parser(
+        "calibration", help="show the virtual machine's timing constants"
+    )
+    p_calibration.add_argument("--gpus", type=int, default=8,
+                               choices=range(1, 9))
+    p_calibration.set_defaults(func=_cmd_calibration)
+
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        """Attach the shared workload arguments."""
+        p.add_argument("--graph", required=True,
+                       choices=list(datasets.DATASETS))
+        p.add_argument("--algorithm", required=True,
+                       choices=sorted(ALGORITHMS))
+        p.add_argument("--gpus", type=int, default=8,
+                       choices=range(1, 9))
+        p.add_argument("--partitioner", default="random",
+                       choices=sorted(PARTITIONERS))
+        p.add_argument("--solver", default="greedy",
+                       choices=("greedy", "lp", "bnb", "highs"))
+        p.add_argument("--cost-model", default="default",
+                       choices=("default", "oracle", "uniform"))
+        p.add_argument("--no-fsteal", action="store_true")
+        p.add_argument("--no-osteal", action="store_true")
+        p.add_argument("--no-hub-cache", action="store_true")
+        p.add_argument("--json", action="store_true",
+                       help="emit a JSON summary")
+
+    p_run = sub.add_parser("run", help="run one engine on one workload")
+    add_run_args(p_run)
+    p_run.add_argument("--engine", default="gum",
+                       choices=ENGINE_NAMES + ("gum-nosteal", "bsp"))
+    p_run.set_defaults(func=_cmd_run)
+
+    p_compare = sub.add_parser(
+        "compare", help="run all three engines on one workload"
+    )
+    add_run_args(p_compare)
+    p_compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

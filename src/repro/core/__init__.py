@@ -1,0 +1,75 @@
+"""The paper's contribution: FSteal, OSteal, cost model, GUM engine."""
+
+from repro.core.milp import (
+    BranchAndBoundSolver,
+    FStealProblem,
+    FStealSolution,
+    FStealSolver,
+    GreedySolver,
+    HiGHSSolver,
+    LPRoundingSolver,
+    SOLVERS,
+    make_solver,
+)
+from repro.core.costmodel import (
+    CostModel,
+    DecisionTreeModel,
+    FitReport,
+    KernelRidgeModel,
+    LinearSGDModel,
+    MODEL_FAMILIES,
+    OracleCostModel,
+    PolynomialSGDModel,
+    UniformCostModel,
+    collect_training_data,
+    default_training_corpus,
+    pretrained_default,
+    rmsre,
+)
+from repro.core.fsteal import (
+    VertexAssignment,
+    build_cost_matrix,
+    plan_fsteal,
+    select_vertices,
+)
+from repro.core.reduction_tree import ReductionTree
+from repro.core.osteal import OStealDecision, plan_osteal
+from repro.core.hubcache import HubCache
+from repro.core.arbitrator import GumConfig, GumScheduler
+from repro.core.gum import GumEngine
+
+__all__ = [
+    "FStealProblem",
+    "FStealSolution",
+    "FStealSolver",
+    "GreedySolver",
+    "LPRoundingSolver",
+    "BranchAndBoundSolver",
+    "HiGHSSolver",
+    "SOLVERS",
+    "make_solver",
+    "CostModel",
+    "LinearSGDModel",
+    "PolynomialSGDModel",
+    "DecisionTreeModel",
+    "KernelRidgeModel",
+    "UniformCostModel",
+    "OracleCostModel",
+    "MODEL_FAMILIES",
+    "FitReport",
+    "rmsre",
+    "collect_training_data",
+    "default_training_corpus",
+    "pretrained_default",
+    "VertexAssignment",
+    "build_cost_matrix",
+    "select_vertices",
+    "plan_fsteal",
+    "ReductionTree",
+    "OStealDecision",
+    "plan_osteal",
+    "HubCache",
+    "GumConfig",
+    "GumScheduler",
+    "GumEngine",
+]

@@ -1,0 +1,491 @@
+"""The stealing arbitrator (Section V, Figure 5).
+
+:class:`GumScheduler` is the coordinator-side policy at the heart of
+GUM. Each iteration it:
+
+1. decides **OSteal** (Algorithm 2) when the long-tail trigger fires —
+   previous iteration cheaper than ``t3``, or the group is already
+   folded (so re-growth is re-evaluated as workload returns);
+2. decides **FSteal** (Algorithm 1) when the DLB triggers fire —
+   enough frontier edges (``t1``) and enough imbalance (``t2``);
+3. realizes the chosen touched-edges matrix as consecutive vertex
+   slices, marking hub-cached edges (``t4``) as local.
+
+The arbitrator estimates the synchronization parameter ``p`` from
+observed iterations and charges its own decision latency into the
+virtual clock (``overhead_mode``: a deterministic model by default,
+the measured wall time of the decision code if requested, or nothing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import config as repro_config
+from repro.core.costmodel import (
+    CostModel,
+    OracleCostModel,
+    UniformCostModel,
+    pretrained_default,
+)
+from repro.core.fsteal import (
+    VertexAssignment,
+    build_cost_matrix,
+    select_vertices,
+)
+from repro.core.hubcache import HubCache
+from repro.core.milp import FStealProblem, make_solver
+from repro.core.osteal import plan_osteal
+from repro.core.reduction_tree import ReductionTree
+from repro.errors import EngineError
+from repro.graph.features import frontier_features
+from repro.hardware.microbench import measure_comm_cost_matrix
+from repro.runtime.frontier import Frontier
+from repro.runtime.metrics import IterationRecord
+from repro.runtime.scheduler import (
+    IterationPlan,
+    RunContext,
+    Scheduler,
+    WorkChunk,
+)
+
+__all__ = ["GumConfig", "GumScheduler"]
+
+
+@dataclass
+class GumConfig:
+    """Tunables of the GUM arbitrator (the paper's t1..t4 and friends).
+
+    Attributes
+    ----------
+    fsteal / osteal / hub_cache:
+        Feature switches (the Exp-5 incremental axes).
+    solver:
+        FSteal solver name (``greedy``/``lp``/``bnb``/``highs``) or an
+        instantiated solver.
+    cost_model:
+        ``"default"`` (pretrained degree-4 polynomial), ``"oracle"``
+        (ground truth — Exp-7's upper bound), ``"uniform"`` (bandwidth
+        only), or any :class:`CostModel` instance.
+    t1_min_edges:
+        FSteal fires only when the busiest worker has at least this
+        many active edges (Example 5, condition 1).
+    t2_imbalance_edges:
+        ... and the busiest-minus-idlest gap exceeds this (condition 2).
+    t2_imbalance_ratio:
+        Relative counterpart of ``t2``: the gap must also be at least
+        this fraction of the heaviest load, so near-balanced iterations
+        are not "rebalanced" at a net loss.
+    t3_runtime_seconds:
+        OSteal re-evaluates when the previous iteration's wall time is
+        below this (the long-tail detector).
+    t4_hub_in_degree:
+        Vertices with larger in-degree are hub-cached on every GPU.
+    osteal_cooldown:
+        Minimum iterations between OSteal evaluations (Algorithm 2
+        enumerates group sizes — do not pay that every tail iteration).
+    overhead_mode:
+        ``"modeled"`` (deterministic cost estimate — default, keeps
+        runs reproducible), ``"measured"`` (charge the real wall time
+        of the decision code), or ``"none"``.
+    bandwidth_seed:
+        Seed of the simulated bandwidth micro-benchmark.
+    """
+
+    fsteal: bool = True
+    osteal: bool = True
+    hub_cache: bool = True
+    solver: Union[str, object] = "greedy"
+    cost_model: Union[str, CostModel] = "default"
+    # Thresholds are in *simulated* edges (1 simulated edge stands for
+    # config.EDGE_SCALE original ones), hence the small defaults.
+    t1_min_edges: int = 256
+    t2_imbalance_edges: int = 64
+    t2_imbalance_ratio: float = 0.10
+    t3_runtime_seconds: float = 2.5e-3
+    t4_hub_in_degree: int = 128
+    osteal_cooldown: int = 10
+    overhead_mode: str = "modeled"
+    bandwidth_seed: int = 0
+
+    def resolve_cost_model(self) -> CostModel:
+        """Materialize the configured cost model."""
+        if isinstance(self.cost_model, CostModel):
+            return self.cost_model
+        if self.cost_model == "default":
+            return pretrained_default()
+        if self.cost_model == "oracle":
+            return OracleCostModel()
+        if self.cost_model == "uniform":
+            return UniformCostModel()
+        raise EngineError(f"unknown cost model {self.cost_model!r}")
+
+    def resolve_solver(self):
+        """Materialize the configured FSteal solver."""
+        if isinstance(self.solver, str):
+            return make_solver(self.solver)
+        return self.solver
+
+
+@dataclass
+class _RunState:
+    """Per-run mutable arbitrator state."""
+
+    comm_cost: np.ndarray
+    tree: ReductionTree
+    hub_cache: Optional[HubCache]
+    active: List[int] = field(default_factory=list)
+    group_size: int = 0
+    prev_wall: float = float("inf")
+    p_estimate: float = 1e-4
+    last_osteal_iteration: int = -(10**9)
+    workload_at_decision: int = 0
+    osteal_backoff: int = 0
+
+
+class GumScheduler(Scheduler):
+    """The GUM coordinator policy (OSteal before FSteal, Section V)."""
+
+    name = "gum"
+
+    def __init__(self, config: Optional[GumConfig] = None) -> None:
+        self._config = config or GumConfig()
+        self._cost_model = self._config.resolve_cost_model()
+        self._solver = self._config.resolve_solver()
+        self._state: Optional[_RunState] = None
+
+    @property
+    def config(self) -> GumConfig:
+        """The arbitrator configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def begin_run(self, context: RunContext) -> None:
+        """Reset per-run state for a new execution."""
+        topology = context.timing.topology
+        comm_cost = measure_comm_cost_matrix(
+            topology,
+            repro_config.BYTES_PER_EDGE,
+            seed=self._config.bandwidth_seed,
+        )
+        hub_cache = (
+            HubCache(context.graph, self._config.t4_hub_in_degree)
+            if self._config.hub_cache
+            else None
+        )
+        self._state = _RunState(
+            comm_cost=comm_cost,
+            tree=ReductionTree(topology),
+            hub_cache=hub_cache,
+            active=list(range(topology.num_gpus)),
+            group_size=topology.num_gpus,
+        )
+        # initial p guess: one sync with everyone, spread per worker
+        self._state.p_estimate = context.timing.sync_seconds(
+            topology.num_gpus
+        ) / topology.num_gpus
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        iteration: int,
+        fragment_frontiers: Sequence[Frontier],
+        workloads: np.ndarray,
+        context: RunContext,
+    ) -> IterationPlan:
+        """Produce this iteration's work assignment."""
+        state = self._state
+        if state is None:
+            raise EngineError("scheduler used before begin_run")
+        started = time.perf_counter()
+        modeled_overhead = 0.0
+        num_workers = context.num_workers
+        features = [
+            frontier_features(context.graph, frontier.vertices)
+            for frontier in fragment_frontiers
+        ]
+        # feature extraction is a scan over active vertices (Exp-3)
+        total_frontier = int(sum(f.size for f in features))
+        modeled_overhead += 2.5e-8 * total_frontier
+
+        fsteal_solution = None
+
+        # --- Step 2: ownership stealing -------------------------------
+        total_workload = int(workloads.sum())
+        if self._config.osteal and self._osteal_triggered(
+            iteration, state, total_workload
+        ):
+            decision = plan_osteal(
+                state.tree,
+                state.comm_cost,
+                features,
+                workloads,
+                context.fragment_home,
+                self._cost_model,
+                self._solver,
+                state.p_estimate,
+            )
+            modeled_overhead += self._modeled_osteal_seconds(num_workers)
+            state.last_osteal_iteration = iteration
+            state.workload_at_decision = total_workload
+            if decision.group_size != state.group_size:
+                state.osteal_backoff = self._config.osteal_cooldown
+            else:
+                # stable decision: back off exponentially so long tails
+                # are not charged an enumeration every few iterations
+                state.osteal_backoff = min(
+                    max(state.osteal_backoff,
+                        self._config.osteal_cooldown) * 2,
+                    8 * self._config.osteal_cooldown,
+                )
+            state.group_size = decision.group_size
+            state.active = decision.active_workers
+            context.fragment_worker[:] = decision.ownership
+            fsteal_solution = decision.fsteal
+
+        # --- Step 3: frontier stealing --------------------------------
+        fsteal_applied = False
+        if self._config.fsteal and self._fsteal_triggered(
+            workloads, context, state
+        ):
+            costs_used = None
+            if fsteal_solution is None:
+                costs_used = build_cost_matrix(
+                    state.comm_cost,
+                    features,
+                    self._cost_model,
+                    context.fragment_home,
+                    allowed_workers=state.active,
+                )
+                fsteal_solution = self._solver.solve(
+                    FStealProblem(costs_used, workloads)
+                )
+            fsteal_overhead = self._modeled_fsteal_seconds(
+                num_workers, total_frontier
+            )
+            modeled_overhead += fsteal_overhead
+            # cost-based gate (Example 5's spirit, made quantitative):
+            # commit only when the predicted makespan gain covers the
+            # decision overhead — near-balanced iterations stay put
+            if costs_used is not None:
+                static = self._static_makespan(
+                    costs_used, workloads, context.fragment_worker
+                )
+                if static - fsteal_solution.objective <= fsteal_overhead:
+                    fsteal_solution = None
+            if fsteal_solution is not None:
+                fsteal_applied = True
+        elif not self._config.fsteal:
+            fsteal_solution = None
+        elif fsteal_solution is not None and not self._fsteal_triggered(
+            workloads, context, state
+        ):
+            # OSteal ran but FSteal thresholds are not met: fall back to
+            # owner-local processing instead of the enumerated X.
+            fsteal_solution = None
+
+        chunks, stolen_edges, migrated = self._realize(
+            context, fragment_frontiers, workloads, fsteal_solution
+        )
+
+        real_elapsed = time.perf_counter() - started
+        mode = self._config.overhead_mode
+        if mode == "modeled":
+            decision_seconds = modeled_overhead
+        elif mode == "measured":
+            decision_seconds = real_elapsed
+        elif mode == "none":
+            decision_seconds = 0.0
+        else:
+            raise EngineError(f"unknown overhead mode {mode!r}")
+
+        return IterationPlan(
+            chunks=chunks,
+            active_workers=list(state.active),
+            decision_seconds=decision_seconds,
+            real_decision_seconds=real_elapsed,
+            fsteal_applied=fsteal_applied,
+            osteal_group_size=state.group_size,
+            stolen_edges=stolen_edges,
+            migrated_vertices=migrated,
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, record: IterationRecord, context: RunContext) -> None:
+        """Record feedback from the executed iteration."""
+        state = self._state
+        if state is None:
+            return
+        state.prev_wall = record.wall_seconds
+        if record.num_active > 0 and record.breakdown.sync > 0:
+            observed_p = record.breakdown.sync / record.num_active
+            state.p_estimate = 0.5 * state.p_estimate + 0.5 * observed_p
+
+    # ------------------------------------------------------------------
+    def _osteal_triggered(
+        self, iteration: int, state: _RunState, total_workload: int
+    ) -> bool:
+        folded = state.group_size < len(state.comm_cost)
+        # A folded group must react immediately when the frontier
+        # explodes — waiting out the cooldown would serialize a wide
+        # phase on too few GPUs.
+        if folded and total_workload > 4 * max(
+            1, state.workload_at_decision
+        ):
+            return True
+        cooldown = max(state.osteal_backoff, self._config.osteal_cooldown)
+        if iteration - state.last_osteal_iteration < cooldown:
+            return False
+        in_long_tail = state.prev_wall < self._config.t3_runtime_seconds
+        return in_long_tail or folded
+
+    @staticmethod
+    def _static_makespan(
+        costs: np.ndarray, workloads: np.ndarray, fragment_worker: np.ndarray
+    ) -> float:
+        """Makespan of the no-steal assignment under the same costs."""
+        num_workers = costs.shape[1]
+        finish = np.zeros(num_workers)
+        for fragment, load in enumerate(workloads.tolist()):
+            if load == 0:
+                continue
+            worker = int(fragment_worker[fragment])
+            finish[worker] += costs[fragment, worker] * load
+        return float(finish.max()) if num_workers else 0.0
+
+    def _fsteal_triggered(
+        self, workloads: np.ndarray, context: RunContext, state: _RunState
+    ) -> bool:
+        per_worker = np.zeros(context.num_workers, dtype=np.int64)
+        np.add.at(per_worker, context.fragment_worker, workloads)
+        active_loads = per_worker[state.active]
+        if active_loads.size <= 1:
+            return False
+        heaviest = int(active_loads.max())
+        gap = heaviest - int(active_loads.min())
+        return (
+            heaviest >= self._config.t1_min_edges
+            and gap >= self._config.t2_imbalance_edges
+            and gap >= self._config.t2_imbalance_ratio * heaviest
+        )
+
+    def _realize(
+        self,
+        context: RunContext,
+        fragment_frontiers: Sequence[Frontier],
+        workloads: np.ndarray,
+        fsteal_solution,
+    ) -> tuple[List[WorkChunk], int, int]:
+        """Turn the decision into engine chunks; count stolen work."""
+        graph = context.graph
+        state = self._state
+        chunks: List[WorkChunk] = []
+        stolen_edges = 0
+        migrated = 0
+        if fsteal_solution is None:
+            for fragment, frontier in enumerate(fragment_frontiers):
+                if not frontier and workloads[fragment] == 0:
+                    continue
+                worker = int(context.fragment_worker[fragment])
+                hub = self._hub_edges(context, fragment, worker,
+                                      frontier.vertices)
+                chunks.append(
+                    WorkChunk(
+                        owner=fragment,
+                        worker=worker,
+                        vertices=frontier.vertices,
+                        edges=int(workloads[fragment]),
+                        hub_edges=hub,
+                    )
+                )
+                if worker != int(context.fragment_home[fragment]):
+                    stolen_edges += int(workloads[fragment])
+                    migrated += frontier.size
+            return chunks, stolen_edges, migrated
+
+        for fragment, frontier in enumerate(fragment_frontiers):
+            if not frontier and workloads[fragment] == 0:
+                continue
+            for item in self._fragment_assignments(
+                graph, fragment, frontier,
+                fsteal_solution.assignment[fragment],
+                int(workloads[fragment]),
+            ):
+                hub = self._hub_edges(context, item.owner, item.worker,
+                                      item.vertices)
+                chunks.append(
+                    WorkChunk(
+                        owner=item.owner,
+                        worker=item.worker,
+                        vertices=item.vertices,
+                        edges=item.edges,
+                        hub_edges=hub,
+                    )
+                )
+                if item.worker != int(context.fragment_home[item.owner]):
+                    stolen_edges += item.edges
+                    migrated += item.vertices.size
+        return chunks, stolen_edges, migrated
+
+    @staticmethod
+    def _fragment_assignments(
+        graph,
+        fragment: int,
+        frontier: Frontier,
+        quotas: np.ndarray,
+        workload: int,
+    ):
+        """Realize one fragment's quota row as vertex assignments.
+
+        Normally Algorithm 1's prefix-sum/sorted-search selection; when
+        the effective workload is decoupled from the frontier's
+        out-edges (pull-mode BFS iterations), quotas are realized as
+        edge-count-only chunks instead — there is no frontier vertex
+        list to slice.
+        """
+        if frontier and frontier.work(graph) == workload:
+            return select_vertices(graph, fragment, frontier, quotas)
+        empty = np.empty(0, dtype=np.int64)
+        return [
+            VertexAssignment(
+                owner=fragment, worker=j, vertices=empty,
+                edges=int(quota),
+            )
+            for j, quota in enumerate(np.asarray(quotas))
+            if quota > 0
+        ]
+
+    def _hub_edges(
+        self,
+        context: RunContext,
+        fragment: int,
+        worker: int,
+        vertices: np.ndarray,
+    ) -> int:
+        state = self._state
+        if state is None or state.hub_cache is None:
+            return 0
+        if worker == int(context.fragment_home[fragment]):
+            return 0  # local access needs no cache
+        return state.hub_cache.hub_edges(context.graph, vertices)
+
+    # --- deterministic decision-cost model -----------------------------
+    @staticmethod
+    def _modeled_fsteal_seconds(num_workers: int, frontier_size: int) -> float:
+        """FSteal decision latency: solver + policy broadcast.
+
+        Independent of the frontier size — feature extraction is
+        charged separately per scanned vertex (``frontier_size`` is
+        kept in the signature for that call-site symmetry).
+        """
+        del frontier_size
+        return 1.2e-4 + 1e-6 * num_workers * num_workers
+
+    @staticmethod
+    def _modeled_osteal_seconds(num_workers: int) -> float:
+        """OSteal decision latency: one solve per candidate group size."""
+        return num_workers * 8e-5

@@ -1,0 +1,69 @@
+"""GUM — the complete system (Figure 5).
+
+:class:`GumEngine` wires the BSP engine to the stealing arbitrator.
+Constructing one gives you the paper's full stack: partition-resident
+fragments, a coordinator evaluating OSteal/FSteal each superstep under
+the learned cost model, hub caching, and message aggregation.
+
+Quick start::
+
+    from repro import GumEngine, datasets, random_partition, dgx1
+
+    graph = datasets.load("LJ")
+    topo = dgx1(8)
+    engine = GumEngine(topo)
+    result = engine.run(graph, random_partition(graph, 8), "bfs", source=0)
+    print(result.total_ms, result.stall_fraction())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.arbitrator import GumConfig, GumScheduler
+from repro.hardware.spec import MachineSpec
+from repro.hardware.topology import Topology
+from repro.runtime.bsp import BSPEngine, EngineOptions
+
+__all__ = ["GumEngine"]
+
+
+class GumEngine(BSPEngine):
+    """The GUM multi-GPU graph-processing engine.
+
+    Parameters
+    ----------
+    topology:
+        Machine layout (e.g. :func:`repro.hardware.dgx1`).
+    config:
+        Arbitrator tunables (:class:`GumConfig`); default enables
+        FSteal + OSteal + hub caching with the pretrained cost model.
+    machine:
+        Device/synchronization spec overrides.
+    options:
+        Engine-level switches. By default message aggregation is on
+        (the "+opt" of Exp-5); pass
+        ``EngineOptions(aggregate_messages=False)`` for the
+        unoptimized baseline.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[GumConfig] = None,
+        machine: Optional[MachineSpec] = None,
+        options: Optional[EngineOptions] = None,
+    ) -> None:
+        self._config = config or GumConfig()
+        super().__init__(
+            topology,
+            scheduler=GumScheduler(self._config),
+            machine=machine,
+            options=options,
+            name="gum",
+        )
+
+    @property
+    def config(self) -> GumConfig:
+        """The arbitrator configuration in effect."""
+        return self._config

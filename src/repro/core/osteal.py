@@ -1,0 +1,108 @@
+"""Ownership stealing — Algorithm 2 of the paper (Section IV-B).
+
+OSteal trades parallelism against synchronization overhead: for every
+candidate group size ``m`` it folds the reduction tree, solves the
+restricted FSteal problem to estimate the kernel cost ``z(m)``, adds
+the synchronization estimate ``p * m``, and keeps the cheapest policy
+(Equation 4: ``E = z + p * m``).
+
+``p`` is not a constant of the model — the scheduler estimates it from
+*observed* synchronization time of previous iterations, exactly as the
+paper prescribes ("a parameter that can be estimated during previous
+iterations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.costmodel import CostModel
+from repro.core.fsteal import build_cost_matrix
+from repro.core.milp import FStealProblem, FStealSolution, FStealSolver
+from repro.core.reduction_tree import ReductionTree
+from repro.graph.features import FrontierFeatures
+
+__all__ = ["OStealDecision", "plan_osteal"]
+
+
+@dataclass(frozen=True)
+class OStealDecision:
+    """Chosen ownership policy for the coming iterations."""
+
+    group_size: int
+    active_workers: List[int]
+    ownership: np.ndarray  # fragment -> worker
+    estimated_cost: float  # z(m) + p*m, seconds
+    estimated_kernel: float  # z(m) alone
+    fsteal: FStealSolution  # the X realizing z(m)
+    costs: np.ndarray  # the cost matrix used (inf outside the group)
+
+
+def plan_osteal(
+    tree: ReductionTree,
+    comm_cost: np.ndarray,
+    fragment_features: Sequence[FrontierFeatures],
+    workloads: np.ndarray,
+    fragment_home: np.ndarray,
+    cost_model: CostModel,
+    solver: FStealSolver,
+    p_estimate: float,
+    candidate_sizes: Optional[Sequence[int]] = None,
+) -> OStealDecision:
+    """Algorithm 2: enumerate group sizes, return the cheapest policy.
+
+    Parameters
+    ----------
+    tree:
+        Reduction tree of the machine topology.
+    comm_cost:
+        Measured seconds-per-edge matrix between GPUs.
+    fragment_features:
+        Table-I features per fragment frontier (for ``g(W_i)``).
+    workloads:
+        ``l_i`` active edges per fragment.
+    fragment_home:
+        Fragment -> GPU holding its data.
+    cost_model:
+        Learned (or oracle) per-edge compute-cost model.
+    solver:
+        FSteal solver used to evaluate ``z(m)``.
+    p_estimate:
+        Current estimate of per-worker synchronization latency
+        (seconds), from observed previous iterations.
+    candidate_sizes:
+        Group sizes to consider; defaults to ``1..n``.
+    """
+    num_workers = comm_cost.shape[0]
+    sizes = (
+        list(candidate_sizes)
+        if candidate_sizes is not None
+        else list(range(1, num_workers + 1))
+    )
+    best: Optional[OStealDecision] = None
+    for m in sizes:
+        active = tree.active_workers(m)
+        costs = build_cost_matrix(
+            comm_cost,
+            fragment_features,
+            cost_model,
+            fragment_home,
+            allowed_workers=active,
+        )
+        solution = solver.solve(FStealProblem(costs, workloads))
+        total = solution.objective + p_estimate * m
+        if best is None or total < best.estimated_cost:
+            best = OStealDecision(
+                group_size=m,
+                active_workers=active,
+                ownership=tree.ownership(m),
+                estimated_cost=total,
+                estimated_kernel=solution.objective,
+                fsteal=solution,
+                costs=costs,
+            )
+    assert best is not None  # sizes is never empty
+    return best

@@ -1,0 +1,159 @@
+"""The OSteal reduction tree (Section IV-A, Figure 4b).
+
+Enumerating every ownership-stealing policy is combinatorial
+(``sum_i C(n,i) * i^(n-i)``); the paper collapses the search to a fixed
+folding order derived from the NVLink topology: pair GPUs along their
+widest links, evict one of each pair, recurse on the survivors. The
+residual network keeps the largest aggregate bandwidth, and OSteal only
+has to choose *how far down the tree to fold* (the group size ``m``).
+
+:class:`ReductionTree` precomputes the full merge sequence — a list of
+``(victim, thief)`` events — so that ``ownership(m)`` and
+``active_workers(m)`` are O(n) lookups at decision time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.hardware.topology import Topology
+
+__all__ = ["ReductionTree"]
+
+
+class ReductionTree:
+    """Bandwidth-greedy folding order for a topology.
+
+    Levels are built by maximum-weight perfect matching on the direct
+    NVLink lane counts among survivors (brute force — at most 8 GPUs,
+    105 matchings). Within a level, pairs merge cheapest-loss first, so
+    intermediate group sizes (the 8 -> 6 -> 4 -> 1 walk of Figure 9)
+    also retain maximal bandwidth. In each merged pair the survivor is
+    the endpoint whose links to the other survivors are wider.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._n = topology.num_gpus
+        self._merges: List[Tuple[int, int]] = self._build()
+        # cache: group size m -> (ownership vector, active list)
+        self._cache: dict[int, Tuple[np.ndarray, List[int]]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this tree folds."""
+        return self._topology
+
+    @property
+    def merge_sequence(self) -> List[Tuple[int, int]]:
+        """``(victim, thief)`` events; applying the first ``n - m``
+        yields the group of size ``m``."""
+        return list(self._merges)
+
+    # ------------------------------------------------------------------
+    def _build(self) -> List[Tuple[int, int]]:
+        lanes = self._topology.lane_matrix
+        merges: List[Tuple[int, int]] = []
+        survivors = list(range(self._n))
+        while len(survivors) > 1:
+            pairs = _max_weight_matching(survivors, lanes)
+            # order pairs: losing the least residual bandwidth first
+            def loss(pair: Tuple[int, int]) -> int:
+                victim = self._pick_victim(pair, survivors, lanes)
+                return int(
+                    sum(lanes[victim, s] for s in survivors if s != victim)
+                )
+
+            for a, b in sorted(pairs, key=loss):
+                victim = self._pick_victim((a, b), survivors, lanes)
+                thief = b if victim == a else a
+                merges.append((victim, thief))
+                survivors.remove(victim)
+        return merges
+
+    @staticmethod
+    def _pick_victim(
+        pair: Tuple[int, int], survivors: Sequence[int], lanes: np.ndarray
+    ) -> int:
+        """Evict the endpoint less connected to the other survivors."""
+        a, b = pair
+        a_bw = sum(lanes[a, s] for s in survivors if s not in pair)
+        b_bw = sum(lanes[b, s] for s in survivors if s not in pair)
+        if a_bw != b_bw:
+            return a if a_bw < b_bw else b
+        return max(a, b)  # tie: keep the lower id (it coordinates)
+
+    # ------------------------------------------------------------------
+    def ownership(self, group_size: int) -> np.ndarray:
+        """Fragment -> worker vector ``O`` for a target group size.
+
+        Applying the first ``n - m`` merges; a victim's fragments chase
+        the thief's own final owner (thieves of one level can be
+        victims of a later one).
+        """
+        ownership, __ = self._resolve(group_size)
+        return ownership.copy()
+
+    def active_workers(self, group_size: int) -> List[int]:
+        """Sorted surviving worker ids at a target group size."""
+        __, active = self._resolve(group_size)
+        return list(active)
+
+    def _resolve(self, group_size: int) -> Tuple[np.ndarray, List[int]]:
+        if not 1 <= group_size <= self._n:
+            raise TopologyError(
+                f"group size {group_size} out of range 1..{self._n}"
+            )
+        if group_size not in self._cache:
+            ownership = np.arange(self._n, dtype=np.int64)
+            active = set(range(self._n))
+            for victim, thief in self._merges[: self._n - group_size]:
+                ownership[ownership == victim] = thief
+                active.discard(victim)
+            self._cache[group_size] = (ownership, sorted(active))
+        return self._cache[group_size]
+
+
+def _max_weight_matching(
+    nodes: Sequence[int], lanes: np.ndarray
+) -> List[Tuple[int, int]]:
+    """Brute-force maximum-weight (near-)perfect matching.
+
+    Odd node counts leave one node unmatched. Weights are direct lane
+    counts; PCIe-only pairs weigh 0 but may still be matched when
+    nothing better exists (folding must always be possible).
+    """
+    nodes = list(nodes)
+    if len(nodes) <= 1:
+        return []
+    best_pairs: List[Tuple[int, int]] = []
+    best_weight = -1.0
+
+    def recurse(
+        remaining: Tuple[int, ...], acc: List[Tuple[int, int]], weight: float
+    ) -> None:
+        nonlocal best_pairs, best_weight
+        if len(remaining) <= 1:
+            if weight > best_weight:
+                best_weight = weight
+                best_pairs = list(acc)
+            return
+        first, rest = remaining[0], remaining[1:]
+        for idx in range(len(rest)):
+            partner = rest[idx]
+            acc.append((first, partner))
+            recurse(
+                rest[:idx] + rest[idx + 1:],
+                acc,
+                weight + float(lanes[first, partner]),
+            )
+            acc.pop()
+        if len(remaining) % 2 == 1:
+            # leave `first` unmatched (odd survivor)
+            recurse(rest, acc, weight)
+
+    recurse(tuple(nodes), [], 0.0)
+    return best_pairs

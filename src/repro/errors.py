@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries. Subclasses mirror the
+major subsystems (graph construction, partitioning, hardware modelling,
+scheduling/solving, and engine execution).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Malformed or inconsistent graph data (bad CSR arrays, bad edges)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition specification or violated partition invariants."""
+
+
+class TopologyError(ReproError):
+    """Invalid hardware topology (bad lane matrix, unreachable devices)."""
+
+
+class SolverError(ReproError):
+    """A stealing-policy solver failed to produce a feasible solution."""
+
+
+class EngineError(ReproError):
+    """A processing engine was misconfigured or failed during execution."""
+
+
+class ConvergenceError(EngineError):
+    """An iterative algorithm exceeded its iteration budget."""
+
+
+class CostModelError(ReproError):
+    """Cost-model training or inference failed (e.g. empty training set)."""

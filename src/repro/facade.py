@@ -1,0 +1,83 @@
+"""One-call convenience API.
+
+For users who want an answer, not an experiment::
+
+    import repro
+
+    result = repro.run(my_graph, "sssp", source=3)           # GUM, 8 GPUs
+    result = repro.run(my_graph, "wcc", engine="groute",
+                       num_gpus=4, partitioner="metis")
+
+Handles algorithm prerequisites automatically (symmetrization for WCC,
+unit weights for SSSP on unweighted graphs) and returns the usual
+:class:`~repro.runtime.metrics.RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.algorithms import GASAlgorithm, make_algorithm
+from repro.baselines import GrouteEngine, GunrockEngine
+from repro.core import GumConfig, GumEngine
+from repro.errors import EngineError
+from repro.graph.builders import symmetrize
+from repro.graph.csr import CSRGraph
+from repro.hardware.topology import dgx1
+from repro.partition.partitioners import make_partition
+from repro.runtime import BSPEngine, RunResult
+
+__all__ = ["run"]
+
+
+def run(
+    graph: CSRGraph,
+    algorithm: Union[str, GASAlgorithm],
+    engine: str = "gum",
+    num_gpus: int = 8,
+    partitioner: str = "random",
+    gum_config: Optional[GumConfig] = None,
+    seed: int = 0,
+    **params,
+) -> RunResult:
+    """Partition, schedule, and execute one algorithm in a single call.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; prerequisites (symmetric edges for WCC) are
+        derived automatically.
+    algorithm:
+        Registered name (``bfs``/``sssp``/``wcc``/``pr``/``dpr``) or an
+        instance.
+    engine:
+        ``gum`` (default), ``gunrock``, ``groute``, or ``bsp``.
+    num_gpus:
+        Virtual GPU count (1..8, DGX-1 sub-topology).
+    partitioner:
+        ``random`` / ``seg`` / ``metis``.
+    gum_config:
+        Arbitrator overrides (GUM only).
+    params:
+        Algorithm init parameters (``source=...`` etc.).
+    """
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm)
+    if algorithm.needs_symmetric and graph.directed:
+        graph = symmetrize(graph).with_name(graph.name)
+    partition = make_partition(partitioner, graph, num_gpus, seed=seed)
+    topology = dgx1(num_gpus)
+    if engine == "gum":
+        runner = GumEngine(topology, config=gum_config)
+    elif engine == "gunrock":
+        runner = GunrockEngine(topology)
+    elif engine == "groute":
+        runner = GrouteEngine(topology)
+    elif engine == "bsp":
+        runner = BSPEngine(topology, name="bsp")
+    else:
+        raise EngineError(
+            f"unknown engine {engine!r}; "
+            "known: gum, gunrock, groute, bsp"
+        )
+    return runner.run(graph, partition, algorithm, **params)

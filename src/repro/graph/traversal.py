@@ -1,0 +1,119 @@
+"""Traversal and subgraph utilities.
+
+General-purpose helpers a downstream user of the library needs around
+the core engines: bounded-hop neighborhoods, induced subgraphs,
+filtering, and ego networks. All return new :class:`CSRGraph` objects
+or plain arrays; nothing here mutates inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builders import from_edge_arrays
+from repro.graph.csr import CSRGraph
+from repro.graph.gather import gather_edges
+
+__all__ = [
+    "k_hop_neighborhood",
+    "induced_subgraph",
+    "filter_by_degree",
+    "ego_network",
+    "top_degree_vertices",
+]
+
+
+def k_hop_neighborhood(
+    graph: CSRGraph, sources: np.ndarray, hops: int
+) -> np.ndarray:
+    """Vertices reachable from ``sources`` within ``hops`` out-steps.
+
+    Includes the sources themselves (hop 0). Sorted unique ids.
+    """
+    if hops < 0:
+        raise GraphError("hops cannot be negative")
+    visited = np.unique(np.asarray(sources, dtype=np.int64))
+    if visited.size and (
+        visited[0] < 0 or visited[-1] >= graph.num_vertices
+    ):
+        raise GraphError("source vertex out of range")
+    frontier = visited
+    for __ in range(hops):
+        if frontier.size == 0:
+            break
+        __, destinations, __w = gather_edges(graph, frontier)
+        fresh = np.setdiff1d(np.unique(destinations), visited,
+                             assume_unique=True)
+        visited = np.union1d(visited, fresh)
+        frontier = fresh
+    return visited
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced on ``vertices``; returns ``(subgraph, mapping)``.
+
+    ``mapping[i]`` is the original id of the subgraph's vertex ``i``.
+    Edges with either endpoint outside the set are dropped; weights are
+    preserved.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise GraphError("vertex out of range")
+    local_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    local_id[vertices] = np.arange(vertices.size)
+    sources, destinations, weights = gather_edges(graph, vertices)
+    keep = local_id[destinations] >= 0
+    sub = from_edge_arrays(
+        local_id[sources[keep]],
+        local_id[destinations[keep]],
+        num_vertices=vertices.size,
+        weights=weights[keep] if weights is not None else None,
+        directed=graph.directed,
+        name=f"{graph.name}-sub",
+    )
+    return sub, vertices
+
+
+def filter_by_degree(
+    graph: CSRGraph,
+    min_out: int = 0,
+    max_out: Optional[int] = None,
+) -> np.ndarray:
+    """Vertices whose out-degree lies in ``[min_out, max_out]``."""
+    degrees = graph.out_degrees()
+    mask = degrees >= min_out
+    if max_out is not None:
+        mask &= degrees <= max_out
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def ego_network(
+    graph: CSRGraph, center: int, hops: int = 1
+) -> Tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph around ``center`` within ``hops`` steps."""
+    if not 0 <= center < graph.num_vertices:
+        raise GraphError("center out of range")
+    members = k_hop_neighborhood(
+        graph, np.array([center], dtype=np.int64), hops
+    )
+    return induced_subgraph(graph, members)
+
+
+def top_degree_vertices(graph: CSRGraph, k: int,
+                        by: str = "out") -> np.ndarray:
+    """The ``k`` highest-degree vertices (``by`` = "out" or "in")."""
+    if by == "out":
+        degrees = graph.out_degrees()
+    elif by == "in":
+        degrees = graph.in_degrees()
+    else:
+        raise GraphError(f"unknown degree kind {by!r}")
+    k = min(k, graph.num_vertices)
+    return np.argsort(-degrees, kind="stable")[:k].astype(np.int64)

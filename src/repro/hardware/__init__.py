@@ -1,0 +1,43 @@
+"""Virtual multi-GPU hardware: specs, topology, device and timing models."""
+
+from repro.hardware.spec import (
+    GPUSpec,
+    LinkSpec,
+    MachineSpec,
+    NVLINK_LANE_GBPS,
+    PCIE_GBPS,
+    SyncSpec,
+    V100_SPEC,
+)
+from repro.hardware.topology import (
+    Topology,
+    dgx1,
+    fully_connected,
+    ring_topology,
+    single_gpu,
+)
+from repro.hardware.device import DeviceModel
+from repro.hardware.timing import TimingModel
+from repro.hardware.microbench import (
+    measure_bandwidth_matrix,
+    measure_comm_cost_matrix,
+)
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "SyncSpec",
+    "MachineSpec",
+    "V100_SPEC",
+    "NVLINK_LANE_GBPS",
+    "PCIE_GBPS",
+    "Topology",
+    "dgx1",
+    "ring_topology",
+    "fully_connected",
+    "single_gpu",
+    "DeviceModel",
+    "TimingModel",
+    "measure_bandwidth_matrix",
+    "measure_comm_cost_matrix",
+]

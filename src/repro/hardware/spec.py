@@ -1,0 +1,135 @@
+"""Hardware specification dataclasses for the virtual multi-GPU machine.
+
+These describe the *capabilities* of the simulated devices and links;
+:mod:`repro.hardware.topology` arranges links into a machine,
+:mod:`repro.hardware.device` turns specs into per-edge costs, and
+:mod:`repro.hardware.timing` accumulates virtual time.
+
+Default constants are calibrated to an NVIDIA DGX-1-class server
+(8x V100 + hybrid-cube-mesh NVLink), the platform in the paper's
+evaluation (Section VI-A). See DESIGN.md §5 for the calibration story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "SyncSpec",
+    "MachineSpec",
+    "V100_SPEC",
+    "NVLINK_LANE_GBPS",
+    "PCIE_GBPS",
+]
+
+#: One NVLink 2.0 lane (V100 generation), GB/s per direction.
+NVLINK_LANE_GBPS = 25.0
+
+#: PCIe 3.0 x16 effective bandwidth used as the no-NVLink fallback, GB/s.
+PCIE_GBPS = 12.0
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Compute and memory capabilities of one virtual GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, for reports.
+    memory_gb:
+        Device memory capacity. The engines check that fragments fit.
+    local_bandwidth_gbps:
+        HBM bandwidth used for the ``1/B_ii`` local-access cost term.
+    base_edge_cost_ns:
+        Baseline per-edge processing cost (nanoseconds) before the
+        device model's contention/caching modulation. One *simulated*
+        edge stands for ``config.EDGE_SCALE`` original edges, so this
+        is the physical ~0.5 ns/edge times that factor.
+    kernel_launch_us:
+        Latency of launching one kernel, microseconds. Each BSP
+        iteration launches several kernels (Fig 4a of the paper).
+    """
+
+    name: str = "V100"
+    memory_gb: float = 32.0
+    local_bandwidth_gbps: float = 900.0
+    base_edge_cost_ns: float = 500.0
+    kernel_launch_us: float = 8.0
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link between two GPUs.
+
+    ``lanes`` counts NVLink lanes (0 means the pair communicates over
+    PCIe through the host). Bandwidth is ``lanes * NVLINK_LANE_GBPS``
+    or ``PCIE_GBPS`` when there is no direct link.
+    """
+
+    a: int
+    b: int
+    lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError("a link must connect two distinct GPUs")
+        if self.lanes < 0:
+            raise TopologyError("lane count cannot be negative")
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Effective bandwidth of this link in GB/s."""
+        if self.lanes == 0:
+            return PCIE_GBPS
+        return self.lanes * NVLINK_LANE_GBPS
+
+
+@dataclass(frozen=True)
+class SyncSpec:
+    """Per-iteration synchronization overhead model (the LT ingredient).
+
+    The paper models the synchronization cost of an iteration as
+    ``p * m`` where ``m`` is the number of participating workers
+    (Equation 4). ``p`` aggregates kernel launches, frontier-size
+    exchange, and message-buffer preparation; here it is decomposed so
+    the runtime can attribute time to the right breakdown bucket.
+
+    Attributes
+    ----------
+    per_worker_us:
+        The paper's ``p``: fixed latency contributed by each active
+        worker each iteration (microseconds).
+    barrier_us:
+        Fixed cost of the global barrier itself, independent of ``m``.
+    serialization_ns_per_byte:
+        Cost of packing scattered updates into contiguous send buffers,
+        charged per message byte crossing a worker boundary. The pack
+        is a strided gather through HBM, so the effective rate is a
+        fraction of the 900 GB/s stream bandwidth (~200 GB/s).
+    """
+
+    per_worker_us: float = 100.0
+    barrier_us: float = 20.0
+    serialization_ns_per_byte: float = 0.005
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete virtual machine: one GPU spec + sync behaviour.
+
+    The link layout itself lives in :class:`repro.hardware.topology.Topology`;
+    this object only carries the per-device characteristics shared by
+    all GPUs in the (homogeneous) server.
+    """
+
+    gpu: GPUSpec = field(default_factory=GPUSpec)
+    sync: SyncSpec = field(default_factory=SyncSpec)
+
+
+#: The default device spec used throughout benchmarks.
+V100_SPEC = GPUSpec()

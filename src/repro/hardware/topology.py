@@ -1,0 +1,305 @@
+"""Asymmetric interconnect topology for the virtual multi-GPU machine.
+
+Models the NVLink layouts the paper exploits (Section I, Figure 2):
+
+* links between GPU pairs are *asymmetric* — two lanes (50 GB/s), one
+  lane (25 GB/s), or none (PCIe fallback through the host);
+* multiple *stealing paths* may exist between a pair, routing through a
+  transit GPU.
+
+:class:`Topology` stores the lane matrix and answers the two questions
+the stealing algorithms ask: *what is the effective bandwidth between
+i and j* (best direct-or-multi-hop path, store-and-forward penalized
+per hop), and *what ring should a ring-based system (Groute) use*.
+
+The shipped preset is the DGX-1V hybrid cube mesh — two fully-connected
+quads bridged by doubled links, six lanes per GPU — which is the
+8xV100 server class used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.hardware.spec import (
+    GPUSpec,
+    LinkSpec,
+    NVLINK_LANE_GBPS,
+    PCIE_GBPS,
+)
+
+__all__ = ["Topology", "dgx1", "ring_topology", "fully_connected", "single_gpu"]
+
+
+class Topology:
+    """A set of GPUs plus a symmetric lane matrix.
+
+    Parameters
+    ----------
+    num_gpus:
+        Number of devices.
+    links:
+        Point-to-point :class:`LinkSpec` entries. Pairs not listed
+        communicate over PCIe (``PCIE_GBPS``).
+    gpu:
+        Per-device spec (homogeneous machine).
+    """
+
+    def __init__(
+        self,
+        num_gpus: int,
+        links: Sequence[LinkSpec] = (),
+        gpu: Optional[GPUSpec] = None,
+        name: str = "custom",
+    ) -> None:
+        if num_gpus < 1:
+            raise TopologyError("need at least one GPU")
+        self._n = int(num_gpus)
+        self._gpu = gpu or GPUSpec()
+        self._name = name
+        lanes = np.zeros((self._n, self._n), dtype=np.int64)
+        for link in links:
+            if not (0 <= link.a < self._n and 0 <= link.b < self._n):
+                raise TopologyError(
+                    f"link ({link.a},{link.b}) out of range for "
+                    f"{self._n} GPUs"
+                )
+            lanes[link.a, link.b] += link.lanes
+            lanes[link.b, link.a] += link.lanes
+        lanes.setflags(write=False)
+        self._lanes = lanes
+        self._bandwidth_cache: Optional[np.ndarray] = None
+        self._ring_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Number of devices in the machine."""
+        return self._n
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """The per-device specification."""
+        return self._gpu
+
+    @property
+    def name(self) -> str:
+        """Topology preset name, for reports."""
+        return self._name
+
+    @property
+    def lane_matrix(self) -> np.ndarray:
+        """Symmetric ``n x n`` matrix of direct NVLink lane counts."""
+        return self._lanes
+
+    def __repr__(self) -> str:
+        return f"Topology(name={self._name!r}, num_gpus={self._n})"
+
+    # ------------------------------------------------------------------
+    def direct_bandwidth(self, i: int, j: int) -> float:
+        """Bandwidth of the direct link i-j in GB/s.
+
+        ``i == j`` returns local HBM bandwidth; zero-lane pairs return
+        the PCIe fallback.
+        """
+        if i == j:
+            return self._gpu.local_bandwidth_gbps
+        lanes = int(self._lanes[i, j])
+        return lanes * NVLINK_LANE_GBPS if lanes else PCIE_GBPS
+
+    def direct_bandwidth_matrix(self) -> np.ndarray:
+        """Matrix of :meth:`direct_bandwidth` for all pairs."""
+        bw = np.where(
+            self._lanes > 0, self._lanes * NVLINK_LANE_GBPS, PCIE_GBPS
+        ).astype(np.float64)
+        np.fill_diagonal(bw, self._gpu.local_bandwidth_gbps)
+        return bw
+
+    def effective_bandwidth_matrix(self) -> np.ndarray:
+        """Best achievable bandwidth per pair, allowing transit GPUs.
+
+        A path through ``h`` hops is store-and-forward: its effective
+        bandwidth is the bottleneck link bandwidth divided by ``h``.
+        The matrix entry is the max over direct PCIe and every NVLink
+        path of at most ``n-1`` hops — this is the paper's observation
+        that GPU0 may steal from GPU7 through GPU1 or GPU6 when the
+        transit path beats the fallback.
+        """
+        if self._bandwidth_cache is not None:
+            return self._bandwidth_cache
+        n = self._n
+        nvlink = (self._lanes * NVLINK_LANE_GBPS).astype(np.float64)
+        # widest[i, j] = best bottleneck bandwidth over NVLink-only paths
+        # of at most k hops; computed by maximin Floyd-Warshall variant
+        # tracked per hop count.
+        best = np.full((n, n), -np.inf)
+        hop_widest = np.where(nvlink > 0, nvlink, -np.inf)
+        current = hop_widest.copy()
+        for hops in range(1, n):
+            if hops > 1:
+                # extend every (hops-1)-path by one NVLink hop
+                extended = np.full((n, n), -np.inf)
+                for mid in range(n):
+                    cand = np.minimum.outer(current[:, mid], hop_widest[mid])
+                    np.maximum(extended, cand, out=extended)
+                current = extended
+            np.maximum(best, current / hops, out=best)
+        eff = np.maximum(best, PCIE_GBPS)
+        np.fill_diagonal(eff, self._gpu.local_bandwidth_gbps)
+        eff.setflags(write=False)
+        self._bandwidth_cache = eff
+        return eff
+
+    def effective_bandwidth(self, i: int, j: int) -> float:
+        """Effective (possibly multi-hop) bandwidth between i and j."""
+        return float(self.effective_bandwidth_matrix()[i, j])
+
+    def aggregate_bandwidth(self, members: Sequence[int]) -> float:
+        """Sum of direct NVLink bandwidth among a subset of GPUs.
+
+        The OSteal reduction tree keeps the *residual network with the
+        largest aggregated bandwidth* (Section IV-A); this is the
+        quantity it maximizes.
+        """
+        members = list(members)
+        total = 0.0
+        for idx, i in enumerate(members):
+            for j in members[idx + 1:]:
+                total += float(self._lanes[i, j]) * NVLINK_LANE_GBPS
+        return total
+
+    # ------------------------------------------------------------------
+    def find_ring(self) -> Optional[List[int]]:
+        """Find a Hamiltonian NVLink ring, preferring wide links.
+
+        Returns the GPU order of a ring using only direct NVLink links,
+        or ``None`` if no such ring exists (e.g. odd sub-topologies of
+        the cube mesh) — the case where Groute degrades in the paper's
+        Exp-2.
+        """
+        if self._ring_cache is not None:
+            return list(self._ring_cache)
+        n = self._n
+        if n == 1:
+            self._ring_cache = [0]
+            return [0]
+        if n == 2:
+            if self._lanes[0, 1] > 0:
+                self._ring_cache = [0, 1]
+                return [0, 1]
+            return None
+
+        order = [0]
+        used = [False] * n
+        used[0] = True
+
+        def backtrack() -> bool:
+            if len(order) == n:
+                return bool(self._lanes[order[-1], 0] > 0)
+            last = order[-1]
+            # try wide links first so the chosen ring is the fast one
+            candidates = sorted(
+                (v for v in range(n) if not used[v] and self._lanes[last, v]),
+                key=lambda v: -int(self._lanes[last, v]),
+            )
+            for v in candidates:
+                used[v] = True
+                order.append(v)
+                if backtrack():
+                    return True
+                order.pop()
+                used[v] = False
+            return False
+
+        if backtrack():
+            self._ring_cache = list(order)
+            return list(order)
+        return None
+
+    def subset(self, members: Sequence[int], name: str = "") -> "Topology":
+        """Topology induced on a subset of GPUs (ids are renumbered)."""
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise TopologyError("subset members must be distinct")
+        remap = {g: i for i, g in enumerate(members)}
+        links = []
+        for idx, i in enumerate(members):
+            for j in members[idx + 1:]:
+                lanes = int(self._lanes[i, j])
+                if lanes:
+                    links.append(LinkSpec(remap[i], remap[j], lanes))
+        return Topology(
+            len(members),
+            links,
+            gpu=self._gpu,
+            name=name or f"{self._name}[{len(members)}]",
+        )
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+#: DGX-1V hybrid cube mesh: two quads {0..3} / {4..7}, six lanes per GPU.
+_DGX1_LINKS: Tuple[Tuple[int, int, int], ...] = (
+    (0, 1, 1), (0, 2, 1), (0, 3, 2), (0, 4, 2),
+    (1, 2, 2), (1, 3, 1), (1, 5, 2),
+    (2, 3, 1), (2, 6, 2),
+    (3, 7, 2),
+    (4, 5, 1), (4, 6, 1), (4, 7, 2),
+    (5, 6, 2), (5, 7, 1),
+    (6, 7, 1),
+)
+
+
+def dgx1(num_gpus: int = 8, gpu: Optional[GPUSpec] = None) -> Topology:
+    """The paper's platform: 8x V100 hybrid cube mesh (Figure 2 class).
+
+    ``num_gpus < 8`` returns the induced sub-topology on GPUs
+    ``0..num_gpus-1``, the configuration used in the scaling
+    experiments (Exp-2).
+    """
+    if not 1 <= num_gpus <= 8:
+        raise TopologyError("dgx1 preset supports 1..8 GPUs")
+    links = [LinkSpec(a, b, lanes) for a, b, lanes in _DGX1_LINKS]
+    full = Topology(8, links, gpu=gpu, name="dgx1")
+    if num_gpus == 8:
+        return full
+    return full.subset(range(num_gpus), name=f"dgx1[{num_gpus}]")
+
+
+def ring_topology(
+    num_gpus: int, lanes: int = 2, gpu: Optional[GPUSpec] = None
+) -> Topology:
+    """Simple ring of ``num_gpus`` devices with ``lanes`` lanes per link."""
+    if num_gpus < 1:
+        raise TopologyError("need at least one GPU")
+    links = [
+        LinkSpec(i, (i + 1) % num_gpus, lanes)
+        for i in range(num_gpus)
+        if num_gpus > 1 and i != (i + 1) % num_gpus
+    ]
+    # a 2-GPU "ring" is a single link, not a double one
+    if num_gpus == 2:
+        links = [LinkSpec(0, 1, lanes)]
+    return Topology(num_gpus, links, gpu=gpu, name=f"ring{num_gpus}")
+
+
+def fully_connected(
+    num_gpus: int, lanes: int = 1, gpu: Optional[GPUSpec] = None
+) -> Topology:
+    """All-to-all NVLink (NVSwitch-like), ``lanes`` lanes per pair."""
+    links = [
+        LinkSpec(i, j, lanes)
+        for i in range(num_gpus)
+        for j in range(i + 1, num_gpus)
+    ]
+    return Topology(num_gpus, links, gpu=gpu, name=f"full{num_gpus}")
+
+
+def single_gpu(gpu: Optional[GPUSpec] = None) -> Topology:
+    """A machine with a single device (the scaling baseline)."""
+    return Topology(1, (), gpu=gpu, name="single")

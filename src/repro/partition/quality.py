@@ -1,0 +1,78 @@
+"""Partition quality metrics.
+
+The classic static criteria a partitioner optimizes — and which the
+paper argues are *insufficient* because they cannot see runtime
+frontier dynamics (Section II, "Graph partitions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partition.base import Partition
+
+__all__ = ["PartitionQuality", "evaluate_partition", "edge_cut_fraction",
+           "edge_balance", "replication_factor"]
+
+
+def edge_balance(partition: Partition) -> float:
+    """Max/mean ratio of fragment edge counts (1.0 = perfectly even)."""
+    edges = partition.fragment_edges().astype(np.float64)
+    mean = edges.mean()
+    if mean == 0:
+        return 1.0
+    return float(edges.max() / mean)
+
+
+def edge_cut_fraction(partition: Partition) -> float:
+    """Fraction of edges whose endpoints live in different fragments."""
+    graph = partition.graph
+    if graph.num_edges == 0:
+        return 0.0
+    src, dst = graph.edge_array()
+    owner = partition.owner
+    return float(np.count_nonzero(owner[src] != owner[dst]) / graph.num_edges)
+
+
+def replication_factor(partition: Partition) -> float:
+    """Average number of fragments that must know each vertex.
+
+    1.0 means no ghost (outer) copies at all; higher values cost ghost
+    memory and message-aggregation state.
+    """
+    graph = partition.graph
+    n = graph.num_vertices
+    if n == 0:
+        return 1.0
+    total_copies = n  # every vertex has its inner copy
+    for frag in range(partition.num_fragments):
+        total_copies += partition.outer_vertices_of(frag).size
+    return float(total_copies / n)
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Bundle of static quality metrics for one partition."""
+
+    edge_balance: float
+    edge_cut_fraction: float
+    replication_factor: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reporting."""
+        return {
+            "edge_balance": self.edge_balance,
+            "edge_cut_fraction": self.edge_cut_fraction,
+            "replication_factor": self.replication_factor,
+        }
+
+
+def evaluate_partition(partition: Partition) -> PartitionQuality:
+    """Compute all static quality metrics at once."""
+    return PartitionQuality(
+        edge_balance=edge_balance(partition),
+        edge_cut_fraction=edge_cut_fraction(partition),
+        replication_factor=replication_factor(partition),
+    )

@@ -1,0 +1,38 @@
+"""Distributed BSP runtime: frontiers, schedulers, engine, metrics."""
+
+from repro.runtime.frontier import Frontier
+from repro.runtime.metrics import IterationRecord, RunResult, TimeBreakdown
+from repro.runtime.scheduler import (
+    IterationPlan,
+    RunContext,
+    Scheduler,
+    StaticScheduler,
+    WorkChunk,
+)
+from repro.runtime.bsp import BSPEngine, EngineOptions
+from repro.runtime.trace import (
+    load_trace,
+    render_timeline,
+    save_trace,
+    trace_records,
+    utilization_report,
+)
+
+__all__ = [
+    "Frontier",
+    "TimeBreakdown",
+    "IterationRecord",
+    "RunResult",
+    "WorkChunk",
+    "IterationPlan",
+    "RunContext",
+    "Scheduler",
+    "StaticScheduler",
+    "BSPEngine",
+    "EngineOptions",
+    "trace_records",
+    "save_trace",
+    "load_trace",
+    "render_timeline",
+    "utilization_report",
+]

@@ -1,0 +1,442 @@
+"""The BSP engine: executes GAS algorithms and charges virtual time.
+
+One :meth:`BSPEngine.run` call plays the role of the paper's Figure 5
+workflow: partition-resident fragments, a coordinator that synchronizes
+workers each superstep, a pluggable *stealing arbitrator* (the
+:class:`~repro.runtime.scheduler.Scheduler`), and per-iteration timing
+records.
+
+The engine guarantees a strict separation the paper relies on and our
+metamorphic tests verify: the scheduler affects only *where* work runs
+(and therefore time), never *what* is computed — algorithm steps are
+executed on the global state regardless of the plan.
+
+Timing of one iteration (see DESIGN.md §5 for constants)::
+
+    busy_j   = sum over chunks of worker j of
+                 edges * g*(chunk features)          # compute
+               + (edges - hub) * comm(home_i, j)     # remote/local access
+               + hub * comm(j, j)                    # hub-cache hits
+               + kernel launch per chunk
+               + frontier-status migration for stolen chunks
+    critical = max over active workers of busy_j
+    wall     = critical + serialization + sync(m) + decision overhead
+
+Bucket attribution sums exactly to the wall time: ``compute`` and
+``communication`` split the critical path by the active workers' mean
+compute/comm/stall shares (stall counts as communication, as in the
+paper's breakdown), and the rest go to their own buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro import config
+from repro.errors import EngineError
+from repro.graph.csr import CSRGraph
+from repro.graph.features import frontier_features
+from repro.graph.gather import gather_edges
+from repro.hardware.spec import MachineSpec
+from repro.hardware.timing import TimingModel
+from repro.hardware.topology import Topology
+from repro.partition.base import Partition
+from repro.runtime.frontier import Frontier
+from repro.runtime.metrics import IterationRecord, RunResult, TimeBreakdown
+from repro.runtime.scheduler import (
+    IterationPlan,
+    RunContext,
+    Scheduler,
+    StaticScheduler,
+)
+
+if TYPE_CHECKING:  # avoid a runtime<->algorithms import cycle
+    from repro.algorithms.base import GASAlgorithm
+
+__all__ = ["EngineOptions", "BSPEngine"]
+
+
+@dataclass
+class EngineOptions:
+    """Engine-level switches (the "+opt" knobs of Exp-5).
+
+    Attributes
+    ----------
+    aggregate_messages:
+        Early message aggregation: serialize one message per distinct
+        remote destination instead of one per cross edge.
+    direction_optimized_bfs:
+        Push/pull switching for BFS [Beamer]: when the frontier's
+        out-edges exceed ``|E| / bfs_alpha`` an iteration scans the
+        in-edges of unvisited vertices instead. A *common* intra-GPU
+        optimization in the paper's sense (both Gunrock and GUM enable
+        it under "+opt").
+    bfs_alpha:
+        Pull-mode threshold divisor for direction optimization.
+    kernel_per_chunk:
+        Charge a kernel launch per work chunk (stolen chunks run in a
+        separate kernel — Section V, Step 4).
+    id_conversion_ns_per_vertex:
+        Global-to-local vertex id translation cost, charged per active
+        frontier vertex into the ``overhead`` bucket.
+    max_iterations:
+        Safety bound; exceeding it marks the run unconverged.
+    """
+
+    aggregate_messages: bool = True
+    direction_optimized_bfs: bool = True
+    bfs_alpha: float = 8.0
+    kernel_per_chunk: bool = True
+    id_conversion_ns_per_vertex: float = 2.0
+    max_iterations: int = 200_000
+
+
+class BSPEngine:
+    """Bulk-synchronous engine over a virtual multi-GPU machine.
+
+    Parameters
+    ----------
+    topology:
+        Machine layout (also fixes the number of workers).
+    scheduler:
+        Work-assignment policy; defaults to :class:`StaticScheduler`.
+    machine:
+        Device/sync spec overrides.
+    options:
+        Engine switches.
+    name:
+        Engine label in results (benchmarks use "gunrock", "gum", ...).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: Optional[Scheduler] = None,
+        machine: Optional[MachineSpec] = None,
+        options: Optional[EngineOptions] = None,
+        name: str = "bsp",
+    ) -> None:
+        self._topology = topology
+        self._scheduler = scheduler or StaticScheduler()
+        self._timing = TimingModel(topology, machine=machine)
+        self._options = options or EngineOptions()
+        self._name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The machine this engine simulates."""
+        return self._topology
+
+    @property
+    def timing(self) -> TimingModel:
+        """The engine's ground-truth timing model."""
+        return self._timing
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The active scheduling policy."""
+        return self._scheduler
+
+    @property
+    def options(self) -> EngineOptions:
+        """Engine switches."""
+        return self._options
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        algorithm: "Union[str, GASAlgorithm]",
+        max_iterations: Optional[int] = None,
+        **params,
+    ) -> RunResult:
+        """Execute an algorithm to convergence; return the timed result."""
+        if isinstance(algorithm, str):
+            from repro.algorithms import make_algorithm
+
+            algorithm = make_algorithm(algorithm)
+        if partition.graph is not graph:
+            raise EngineError("partition was built for a different graph")
+        if partition.num_fragments != self._topology.num_gpus:
+            raise EngineError(
+                f"partition has {partition.num_fragments} fragments but "
+                f"machine has {self._topology.num_gpus} GPUs"
+            )
+        limit = max_iterations or self._options.max_iterations
+        num_workers = self._topology.num_gpus
+
+        context = RunContext(
+            graph=graph,
+            partition=partition,
+            timing=self._timing,
+            fragment_home=np.arange(num_workers, dtype=np.int64),
+            fragment_worker=np.arange(num_workers, dtype=np.int64),
+            algorithm_name=algorithm.name,
+        )
+        self._scheduler.begin_run(context)
+
+        state = algorithm.init(graph, **params)
+        result = RunResult(
+            engine=self._name,
+            algorithm=algorithm.name,
+            graph_name=graph.name,
+            num_gpus=num_workers,
+            values=state.values,
+        )
+
+        while state.frontier and state.iteration < limit:
+            record = self._run_iteration(graph, partition, algorithm,
+                                         state, context)
+            result.iterations.append(record)
+            result.breakdown.add(record.breakdown)
+            result.real_decision_seconds += record.real_decision_seconds
+            state.iteration += 1
+        result.values = state.values
+        result.converged = not state.frontier
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_iteration(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        algorithm: GASAlgorithm,
+        state,
+        context: RunContext,
+    ) -> IterationRecord:
+        frontier: Frontier = state.frontier
+        num_workers = context.num_workers
+
+        # --- distribute the frontier to its data homes ---------------
+        fragment_frontiers = frontier.split_by_owner(
+            partition.owner, partition.num_fragments
+        )
+        workloads = np.array(
+            [f.work(graph) for f in fragment_frontiers], dtype=np.int64
+        )
+        workloads = self._effective_workloads(
+            graph, partition, algorithm, state, workloads
+        )
+
+        # --- plan (the stealing arbitrator) ---------------------------
+        wall_start = time.perf_counter()
+        plan = self._scheduler.plan(
+            state.iteration, fragment_frontiers, workloads, context
+        )
+        plan.real_decision_seconds = max(
+            plan.real_decision_seconds, time.perf_counter() - wall_start
+        )
+        self._validate_plan(plan, workloads, num_workers)
+
+        # --- price the plan with ground-truth costs -------------------
+        # Compute cost is priced from the owning fragment's frontier
+        # features — the same W_i granularity the paper's c_ij uses.
+        # This keeps pricing identical across engines even when the
+        # effective workload is decoupled from the frontier (pull-mode
+        # BFS, near-far discounts).
+        fragment_features = [
+            frontier_features(graph, f.vertices)
+            for f in fragment_frontiers
+        ]
+        busy = np.zeros(num_workers)
+        compute_part = np.zeros(num_workers)
+        comm_part = np.zeros(num_workers)
+        for chunk in plan.chunks:
+            if chunk.edges == 0:
+                continue
+            features = fragment_features[chunk.owner]
+            compute = self._timing.compute_seconds(chunk.edges, features)
+            home = int(context.fragment_home[chunk.owner])
+            remote_edges = chunk.edges - chunk.hub_edges
+            comm = remote_edges * self._timing.comm_seconds_per_edge(
+                home, chunk.worker
+            ) + chunk.hub_edges * self._timing.comm_seconds_per_edge(
+                chunk.worker, chunk.worker
+            )
+            if chunk.worker != home:
+                # frontier-status migration: stolen vertex ids + values
+                comm += self._timing.transfer_seconds(
+                    home, chunk.worker,
+                    chunk.vertices.size * config.BYTES_PER_VERTEX,
+                )
+            if self._options.kernel_per_chunk:
+                compute += self._timing.kernel_launch_seconds(1)
+            busy[chunk.worker] += compute + comm
+            compute_part[chunk.worker] += compute
+            comm_part[chunk.worker] += comm
+
+        active = sorted(set(plan.active_workers))
+        if not active:
+            raise EngineError("iteration plan has no active workers")
+        active_arr = np.asarray(active, dtype=np.int64)
+        critical = float(busy[active_arr].max()) if active else 0.0
+        stall = np.zeros(num_workers)
+        stall[active_arr] = critical - busy[active_arr]
+
+        # --- messages crossing worker boundaries ----------------------
+        serialization, message_transfer = self._message_costs(
+            graph, partition, context, frontier, active
+        )
+
+        sync = self._timing.sync_seconds(len(active)) * self._sync_multiplier(
+            algorithm, state
+        )
+        overhead = (
+            plan.decision_seconds
+            + frontier.size
+            * self._options.id_conversion_ns_per_vertex
+            * 1e-9
+        )
+
+        breakdown = TimeBreakdown(
+            compute=float(compute_part[active_arr].mean()),
+            communication=float(
+                comm_part[active_arr].mean() + stall[active_arr].mean()
+            ) + message_transfer,
+            serialization=serialization,
+            sync=sync,
+            overhead=overhead,
+        )
+
+        # --- execute semantics (independent of the plan) ---------------
+        state.frontier = algorithm.step(graph, state)
+
+        record = IterationRecord(
+            iteration=state.iteration,
+            frontier_size=frontier.size,
+            frontier_edges=int(workloads.sum()),
+            active_workers=active,
+            busy_seconds=busy,
+            stall_seconds=stall,
+            wall_seconds=breakdown.total,
+            breakdown=breakdown,
+            fsteal_applied=plan.fsteal_applied,
+            osteal_group_size=plan.osteal_group_size,
+            stolen_edges=plan.stolen_edges,
+            real_decision_seconds=plan.real_decision_seconds,
+        )
+        self._scheduler.observe(record, context)
+        return record
+
+    # ------------------------------------------------------------------
+    # Hooks for engine models with algorithm-specific behaviour
+    # (the Gunrock baseline overrides these; GUM does not).
+    # ------------------------------------------------------------------
+    def _effective_workloads(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        algorithm,
+        state,
+        workloads: np.ndarray,
+    ) -> np.ndarray:
+        """Edges actually processed per fragment this iteration.
+
+        The default engine processes the frontier's out-edges, except
+        for pull-mode BFS iterations (when enabled). Engine models with
+        further algorithm-specific kernels (the Gunrock baseline)
+        extend this.
+        """
+        if (
+            algorithm.name == "bfs"
+            and self._options.direction_optimized_bfs
+        ):
+            return self._direction_optimize(graph, partition, state,
+                                            workloads)
+        return workloads
+
+    def _direction_optimize(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        state,
+        workloads: np.ndarray,
+    ) -> np.ndarray:
+        """Pull-mode workloads when cheaper than pushing the frontier."""
+        push_edges = int(workloads.sum())
+        if push_edges <= graph.num_edges / self._options.bfs_alpha:
+            return workloads
+        unvisited = np.isinf(state.values)
+        if not np.any(unvisited):
+            return workloads
+        in_deg = graph.in_degrees()
+        pull_per_fragment = np.zeros_like(workloads)
+        np.add.at(
+            pull_per_fragment,
+            partition.owner[unvisited],
+            in_deg[unvisited],
+        )
+        if int(pull_per_fragment.sum()) >= push_edges:
+            return workloads
+        return pull_per_fragment.astype(np.int64)
+
+    def _sync_multiplier(self, algorithm, state) -> float:
+        """Scale on the per-iteration synchronization cost.
+
+        Multi-phase kernels (e.g. near-far SSSP buckets) synchronize
+        more than once per logical iteration.
+        """
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def _message_costs(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        context: RunContext,
+        frontier: Frontier,
+        active: list,
+    ) -> tuple[float, float]:
+        """Price cross-worker messages: (packing, link transfer).
+
+        Packing is the serialization bucket; the transfer itself rides
+        the aggregate NVLink bandwidth of the active group and lands in
+        the communication bucket. BSP systems may use every link
+        (unlike the Groute model's single ring).
+        """
+        if frontier.size == 0:
+            return 0.0, 0.0
+        sources, destinations, __ = gather_edges(graph, frontier.vertices)
+        if sources.size == 0:
+            return 0.0, 0.0
+        worker_of = context.fragment_worker[partition.owner]
+        cross = worker_of[sources] != worker_of[destinations]
+        if not np.any(cross):
+            return 0.0, 0.0
+        if self._options.aggregate_messages:
+            # early aggregation: one message per distinct destination
+            num_messages = int(np.unique(destinations[cross]).size)
+        else:
+            num_messages = int(np.count_nonzero(cross))
+        packing = self._timing.serialization_seconds(num_messages)
+        aggregate_gbps = self._topology.aggregate_bandwidth(active)
+        if aggregate_gbps <= 0:
+            aggregate_gbps = self._topology.direct_bandwidth(0, 0)
+        transfer = (
+            num_messages * config.BYTES_PER_MESSAGE
+            / (aggregate_gbps * 1e9)
+        )
+        return packing, transfer
+
+    def _validate_plan(
+        self, plan: IterationPlan, workloads: np.ndarray, num_workers: int
+    ) -> None:
+        """Reject plans that drop or duplicate work."""
+        assigned = np.zeros_like(workloads)
+        for chunk in plan.chunks:
+            if not 0 <= chunk.worker < num_workers:
+                raise EngineError(f"chunk worker {chunk.worker} out of range")
+            if not 0 <= chunk.owner < workloads.size:
+                raise EngineError(f"chunk owner {chunk.owner} out of range")
+            assigned[chunk.owner] += chunk.edges
+        if not np.array_equal(assigned, workloads):
+            raise EngineError(
+                "iteration plan does not conserve workload: "
+                f"assigned={assigned.tolist()} expected={workloads.tolist()}"
+            )

@@ -1,0 +1,149 @@
+"""Frontier representation and algebra.
+
+A frontier is the subset of vertices active in one BSP iteration —
+the paper's ``f_k`` and the unit of work FSteal redistributes. We keep
+frontiers as *sorted unique* ``int64`` arrays: cheap set algebra via
+merges, and the sorted order is what Algorithm 1's prefix-sum /
+sorted-search vertex selection expects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A sorted set of active vertices with workload helpers."""
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: np.ndarray | Iterable[int] = ()) -> None:
+        array = np.asarray(list(vertices) if not isinstance(
+            vertices, np.ndarray) else vertices, dtype=np.int64)
+        if array.size:
+            array = np.unique(array)
+        array.setflags(write=False)
+        self._vertices = array
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_sorted(vertices: np.ndarray) -> "Frontier":
+        """Wrap an already-sorted-unique array without re-sorting."""
+        frontier = Frontier.__new__(Frontier)
+        array = np.ascontiguousarray(vertices, dtype=np.int64)
+        array.setflags(write=False)
+        frontier._vertices = array
+        return frontier
+
+    @staticmethod
+    def from_mask(mask: np.ndarray) -> "Frontier":
+        """Frontier of all vertices where ``mask`` is true."""
+        return Frontier.from_sorted(np.flatnonzero(mask).astype(np.int64))
+
+    @staticmethod
+    def full(num_vertices: int) -> "Frontier":
+        """Frontier containing every vertex (dense algorithms like PR)."""
+        return Frontier.from_sorted(np.arange(num_vertices, dtype=np.int64))
+
+    @staticmethod
+    def empty() -> "Frontier":
+        """The empty frontier."""
+        return Frontier.from_sorted(np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> np.ndarray:
+        """Read-only sorted vertex array."""
+        return self._vertices
+
+    @property
+    def size(self) -> int:
+        """Number of active vertices."""
+        return int(self._vertices.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frontier):
+            return NotImplemented
+        return np.array_equal(self._vertices, other._vertices)
+
+    def __hash__(self) -> int:  # frontiers are value-like but unhashable
+        raise TypeError("Frontier is not hashable")
+
+    def __repr__(self) -> str:
+        preview = self._vertices[:8].tolist()
+        suffix = "..." if self.size > 8 else ""
+        return f"Frontier(size={self.size}, {preview}{suffix})"
+
+    # ------------------------------------------------------------------
+    def work(self, graph: CSRGraph) -> int:
+        """Total out-edges of the frontier — the workload ``l`` of FSteal."""
+        if self.size == 0:
+            return 0
+        return int(graph.out_degrees(self._vertices).sum())
+
+    def union(self, other: "Frontier") -> "Frontier":
+        """Set union."""
+        if not self:
+            return other
+        if not other:
+            return self
+        return Frontier.from_sorted(
+            np.union1d(self._vertices, other._vertices)
+        )
+
+    def intersection(self, other: "Frontier") -> "Frontier":
+        """Set intersection."""
+        return Frontier.from_sorted(
+            np.intersect1d(self._vertices, other._vertices,
+                           assume_unique=True)
+        )
+
+    def difference(self, other: "Frontier") -> "Frontier":
+        """Set difference (vertices in self but not other)."""
+        return Frontier.from_sorted(
+            np.setdiff1d(self._vertices, other._vertices,
+                         assume_unique=True)
+        )
+
+    def contains(self, vertex: int) -> bool:
+        """Membership test via binary search."""
+        idx = np.searchsorted(self._vertices, vertex)
+        return bool(
+            idx < self._vertices.size and self._vertices[idx] == vertex
+        )
+
+    def split_by_owner(
+        self, owner: np.ndarray, num_fragments: int
+    ) -> List["Frontier"]:
+        """Partition the frontier by an ownership array.
+
+        Returns one frontier per fragment; their disjoint union equals
+        ``self``. This produces the distributed frontier the engines
+        and stealing policies operate on.
+        """
+        if self.size == 0:
+            return [Frontier.empty() for __ in range(num_fragments)]
+        owners = owner[self._vertices]
+        order = np.argsort(owners, kind="stable")
+        sorted_vertices = self._vertices[order]
+        boundaries = np.searchsorted(
+            owners[order], np.arange(num_fragments + 1)
+        )
+        return [
+            Frontier.from_sorted(
+                np.sort(sorted_vertices[boundaries[i]: boundaries[i + 1]])
+            )
+            for i in range(num_fragments)
+        ]

@@ -1,0 +1,170 @@
+"""Timing records produced by engine runs.
+
+Every engine (GUM, Gunrock model, Groute model) emits the same record
+types so benchmark harnesses can compare them directly:
+
+* :class:`TimeBreakdown` — virtual seconds split into the five buckets
+  of the paper's Figure 6 discussion (computation, communication,
+  serialization, synchronization, overhead).
+* :class:`IterationRecord` — one BSP superstep (or async round):
+  per-GPU busy/stall times (the Figure 1 / Figure 8 timelines), the
+  iteration's wall time, stealing decisions taken.
+* :class:`RunResult` — a completed run: final vertex values, iteration
+  records, aggregate breakdown, plus real (host) decision time for
+  Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["TimeBreakdown", "IterationRecord", "RunResult"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Virtual seconds per cost bucket; additive."""
+
+    compute: float = 0.0
+    communication: float = 0.0
+    serialization: float = 0.0
+    sync: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all buckets."""
+        return (
+            self.compute
+            + self.communication
+            + self.serialization
+            + self.sync
+            + self.overhead
+        )
+
+    def add(self, other: "TimeBreakdown") -> None:
+        """Accumulate another breakdown into this one, in place."""
+        self.compute += other.compute
+        self.communication += other.communication
+        self.serialization += other.serialization
+        self.sync += other.sync
+        self.overhead += other.overhead
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (seconds) for reporting."""
+        return {
+            "compute": self.compute,
+            "communication": self.communication,
+            "serialization": self.serialization,
+            "sync": self.sync,
+            "overhead": self.overhead,
+            "total": self.total,
+        }
+
+    def scaled_ms(self) -> Dict[str, float]:
+        """Same as :meth:`as_dict` but in milliseconds."""
+        return {key: value * 1e3 for key, value in self.as_dict().items()}
+
+
+@dataclass
+class IterationRecord:
+    """Timing of one superstep/round.
+
+    ``busy_seconds[j]``/``stall_seconds[j]`` describe worker ``j``; a
+    worker excluded by OSteal has zero busy time and zero stall (it is
+    out of the communication group, not waiting).
+    """
+
+    iteration: int
+    frontier_size: int
+    frontier_edges: int
+    active_workers: List[int]
+    busy_seconds: np.ndarray
+    stall_seconds: np.ndarray
+    wall_seconds: float
+    breakdown: TimeBreakdown
+    fsteal_applied: bool = False
+    osteal_group_size: Optional[int] = None
+    stolen_edges: int = 0
+    real_decision_seconds: float = 0.0
+
+    @property
+    def num_active(self) -> int:
+        """Number of workers participating in this iteration."""
+        return len(self.active_workers)
+
+
+@dataclass
+class RunResult:
+    """Everything a finished engine run reports."""
+
+    engine: str
+    algorithm: str
+    graph_name: str
+    num_gpus: int
+    values: np.ndarray
+    iterations: List[IterationRecord] = field(default_factory=list)
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    converged: bool = True
+    real_decision_seconds: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end virtual runtime."""
+        return self.breakdown.total
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end virtual runtime in milliseconds."""
+        return self.breakdown.total * 1e3
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of supersteps/rounds executed."""
+        return len(self.iterations)
+
+    def busy_matrix(self) -> np.ndarray:
+        """``(num_iterations, num_gpus)`` per-GPU busy seconds.
+
+        This is the data behind the paper's Figure 1 and Figure 8
+        timelines.
+        """
+        if not self.iterations:
+            return np.zeros((0, self.num_gpus))
+        return np.stack([rec.busy_seconds for rec in self.iterations])
+
+    def stall_matrix(self) -> np.ndarray:
+        """``(num_iterations, num_gpus)`` per-GPU stall seconds."""
+        if not self.iterations:
+            return np.zeros((0, self.num_gpus))
+        return np.stack([rec.stall_seconds for rec in self.iterations])
+
+    def group_size_series(self) -> List[int]:
+        """Active-worker count per iteration (Figure 9's switching plot)."""
+        return [rec.num_active for rec in self.iterations]
+
+    def stall_fraction(self) -> float:
+        """Aggregate fraction of worker-time spent stalled.
+
+        ``sum(stall) / sum(busy + stall)`` over active workers — the
+        utilization statistic Exp-3 quotes (72% stall -> 4%).
+        """
+        busy = 0.0
+        stall = 0.0
+        for rec in self.iterations:
+            active = rec.active_workers
+            busy += float(rec.busy_seconds[active].sum())
+            stall += float(rec.stall_seconds[active].sum())
+        denom = busy + stall
+        return stall / denom if denom > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.engine}/{self.algorithm} on "
+            f"{self.graph_name}, {self.num_gpus} GPUs: "
+            f"{self.total_ms:.2f} ms, {self.num_iterations} iters)"
+        )

@@ -1,0 +1,136 @@
+"""Run-trace export and rendering.
+
+Tools for looking *inside* a run the way the paper's Figure 1 and
+Figure 8 do:
+
+* :func:`trace_records` / :func:`save_trace` — per-iteration records as
+  plain dicts / JSON-lines, for offline analysis;
+* :func:`render_timeline` — an ASCII Gantt view of per-GPU busy/stall
+  per iteration (the Figure 1 picture in a terminal);
+* :func:`utilization_report` — aggregate per-GPU busy/stall shares.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.runtime.metrics import RunResult
+
+__all__ = [
+    "trace_records",
+    "save_trace",
+    "load_trace",
+    "render_timeline",
+    "utilization_report",
+]
+
+
+def trace_records(result: RunResult) -> List[Dict]:
+    """One JSON-friendly dict per iteration."""
+    records = []
+    for record in result.iterations:
+        records.append({
+            "iteration": record.iteration,
+            "frontier_size": record.frontier_size,
+            "frontier_edges": record.frontier_edges,
+            "active_workers": list(record.active_workers),
+            "busy_ms": [round(b * 1e3, 6)
+                        for b in record.busy_seconds.tolist()],
+            "stall_ms": [round(s * 1e3, 6)
+                         for s in record.stall_seconds.tolist()],
+            "wall_ms": record.wall_seconds * 1e3,
+            "breakdown_ms": record.breakdown.scaled_ms(),
+            "fsteal": record.fsteal_applied,
+            "group_size": record.osteal_group_size,
+            "stolen_edges": record.stolen_edges,
+        })
+    return records
+
+
+def save_trace(result: RunResult, path: Union[str, Path]) -> None:
+    """Write the run trace as JSON lines (one iteration per line).
+
+    The first line is a run-level header.
+    """
+    path = Path(path)
+    with open(path, "w") as handle:
+        header = {
+            "engine": result.engine,
+            "algorithm": result.algorithm,
+            "graph": result.graph_name,
+            "num_gpus": result.num_gpus,
+            "total_ms": result.total_ms,
+            "converged": result.converged,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in trace_records(result):
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> tuple[Dict, List[Dict]]:
+    """Read a trace file back: ``(header, iteration_records)``."""
+    with open(path) as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty trace")
+    return lines[0], lines[1:]
+
+
+def render_timeline(
+    result: RunResult,
+    max_iterations: int = 30,
+    width: int = 40,
+) -> str:
+    """ASCII Gantt chart: one row per (iteration, GPU).
+
+    ``#`` is busy time, ``.`` is stall, blank is excluded-from-group;
+    each bar is normalized to the iteration's critical path.
+    """
+    if not result.iterations:
+        return "(empty run)"
+    step = max(1, result.num_iterations // max_iterations)
+    lines = [
+        f"{result.engine}/{result.algorithm} on {result.graph_name} — "
+        f"'#' busy, '.' stall, blank = evicted",
+    ]
+    for idx in range(0, result.num_iterations, step):
+        record = result.iterations[idx]
+        active = set(record.active_workers)
+        critical = max(
+            float(record.busy_seconds.max()), 1e-12
+        )
+        lines.append(
+            f"iter {idx:5d}  wall {record.wall_seconds * 1e3:8.3f} ms  "
+            f"n={record.num_active}"
+        )
+        for gpu in range(result.num_gpus):
+            if gpu not in active:
+                lines.append(f"  gpu{gpu}  ")
+                continue
+            busy_cells = int(
+                round(width * record.busy_seconds[gpu] / critical)
+            )
+            stall_cells = max(0, width - busy_cells)
+            lines.append(
+                f"  gpu{gpu}  " + "#" * busy_cells + "." * stall_cells
+            )
+    return "\n".join(lines)
+
+
+def utilization_report(result: RunResult) -> Dict[str, object]:
+    """Aggregate per-GPU utilization over the whole run."""
+    busy = result.busy_matrix().sum(axis=0)
+    stall = result.stall_matrix().sum(axis=0)
+    denom = np.maximum(busy + stall, 1e-12)
+    return {
+        "per_gpu_busy_ms": (busy * 1e3).round(3).tolist(),
+        "per_gpu_stall_ms": (stall * 1e3).round(3).tolist(),
+        "per_gpu_utilization": (busy / denom).round(4).tolist(),
+        "overall_stall_fraction": result.stall_fraction(),
+        "iterations": result.num_iterations,
+        "total_ms": result.total_ms,
+    }

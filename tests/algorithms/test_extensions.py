@@ -1,0 +1,160 @@
+"""Tests for the extension algorithms: delta-stepping SSSP and k-core."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.validate import reference_sssp
+from repro.errors import EngineError
+from repro.graph import (
+    erdos_renyi,
+    path_graph,
+    rmat,
+    road_network,
+    star,
+    symmetrize,
+    with_random_weights,
+)
+
+
+def drive(algorithm, graph, limit=50_000, **params):
+    state = algorithm.init(graph, **params)
+    while state.frontier and state.iteration < limit:
+        state.frontier = algorithm.step(graph, state)
+        state.iteration += 1
+    return state
+
+
+# ----------------------------------------------------------------------
+# Delta-stepping SSSP
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory, seed", [
+    (lambda: rmat(9, 8, seed=1), 2),
+    (lambda: erdos_renyi(300, 1800, seed=3), 4),
+    (lambda: road_network(6, 50, seed=5), 6),
+    (lambda: path_graph(40), 7),
+])
+def test_dsssp_matches_dijkstra(factory, seed):
+    graph = with_random_weights(factory(), seed=seed)
+    source = int(np.argmax(graph.out_degrees()))
+    state = drive(make_algorithm("dsssp"), graph, source=source)
+    assert np.allclose(state.values, reference_sssp(graph, source))
+
+
+@pytest.mark.parametrize("delta", [0.5, 1.0, 4.0, 100.0])
+def test_dsssp_any_delta_is_correct(delta):
+    graph = with_random_weights(rmat(8, 8, seed=2), seed=3)
+    source = int(np.argmax(graph.out_degrees()))
+    state = drive(make_algorithm("dsssp"), graph, source=source,
+                  delta=delta)
+    assert np.allclose(state.values, reference_sssp(graph, source))
+
+
+def test_dsssp_small_delta_means_more_supersteps():
+    graph = with_random_weights(road_network(5, 40, seed=1), seed=2)
+    fine = drive(make_algorithm("dsssp"), graph, source=0, delta=0.5)
+    coarse = drive(make_algorithm("dsssp"), graph, source=0, delta=50.0)
+    assert fine.iteration > coarse.iteration
+    assert np.allclose(fine.values, coarse.values)
+
+
+def test_dsssp_does_less_work_than_bellman_ford():
+    """The point of bucketing: fewer redundant relaxations."""
+    graph = with_random_weights(road_network(6, 60, seed=4), seed=5)
+    source = 0
+
+    def total_relaxations(name, **params):
+        algorithm = make_algorithm(name)
+        state = algorithm.init(graph, source=source, **params)
+        work = 0
+        while state.frontier and state.iteration < 50_000:
+            work += int(
+                graph.out_degrees(state.frontier.vertices).sum()
+            )
+            state.frontier = algorithm.step(graph, state)
+            state.iteration += 1
+        return work
+
+    assert total_relaxations("dsssp") <= total_relaxations("sssp")
+
+
+def test_dsssp_param_validation():
+    graph = with_random_weights(rmat(6, 4, seed=0), seed=1)
+    algorithm = make_algorithm("dsssp")
+    with pytest.raises(EngineError, match="out of range"):
+        algorithm.init(graph, source=10**9)
+    with pytest.raises(EngineError, match="positive"):
+        algorithm.init(graph, source=0, delta=0.0)
+    with pytest.raises(EngineError, match="unknown"):
+        algorithm.init(graph, source=0, buckets=4)
+
+
+def test_dsssp_runs_in_engine():
+    from repro.hardware import dgx1
+    from repro.partition import random_partition
+    from repro.runtime import BSPEngine
+
+    graph = with_random_weights(rmat(9, 8, seed=1), seed=2)
+    source = int(np.argmax(graph.out_degrees()))
+    partition = random_partition(graph, 4, seed=0)
+    result = BSPEngine(dgx1(4)).run(graph, partition, "dsssp",
+                                    source=source)
+    assert result.converged
+    assert np.allclose(result.values, reference_sssp(graph, source))
+
+
+# ----------------------------------------------------------------------
+# k-core
+# ----------------------------------------------------------------------
+def to_networkx(graph):
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.edge_array()
+    G.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return G
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_kcore_matches_networkx(k):
+    graph = symmetrize(rmat(9, 6, seed=3))
+    state = drive(make_algorithm("kcore"), graph, k=k)
+    ours = set(np.flatnonzero(state.values >= 0).tolist())
+    expected = set(nx.k_core(to_networkx(graph), k).nodes)
+    assert ours == expected
+
+
+def test_kcore_star():
+    graph = star(10)  # every vertex has degree >= 1; no 2-core
+    state = drive(make_algorithm("kcore"), graph, k=2)
+    assert np.all(state.values == -1.0)
+    state1 = drive(make_algorithm("kcore"), graph, k=1)
+    assert np.all(state1.values >= 0)
+
+
+def test_kcore_survivor_degrees_at_least_k():
+    graph = symmetrize(erdos_renyi(300, 2400, seed=1))
+    state = drive(make_algorithm("kcore"), graph, k=4)
+    survivors = state.values >= 0
+    if survivors.any():
+        assert state.values[survivors].min() >= 4
+
+
+def test_kcore_param_validation(tiny_graph):
+    algorithm = make_algorithm("kcore")
+    with pytest.raises(EngineError, match="at least 1"):
+        algorithm.init(tiny_graph, k=0)
+    with pytest.raises(EngineError, match="unknown"):
+        algorithm.init(tiny_graph, k=2, tol=3)
+
+
+def test_kcore_runs_in_engine():
+    import repro
+
+    graph = rmat(9, 6, seed=3)
+    result = repro.run(graph, "kcore", num_gpus=4, k=3,
+                       gum_config=repro.GumConfig(cost_model="oracle"))
+    expected = set(
+        nx.k_core(to_networkx(symmetrize(graph)), 3).nodes
+    )
+    assert set(np.flatnonzero(result.values >= 0).tolist()) == expected

@@ -1,0 +1,84 @@
+"""Unit tests for the Gunrock baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.validate import reference_bfs, reference_sssp
+from repro.baselines import GunrockEngine
+from repro.hardware import dgx1, single_gpu
+from repro.partition import random_partition
+
+
+def test_bfs_correct(skewed_graph, skewed_partition, source):
+    result = GunrockEngine(dgx1(8)).run(
+        skewed_graph, skewed_partition, "bfs", source=source
+    )
+    assert np.allclose(result.values, reference_bfs(skewed_graph, source))
+    assert result.engine == "gunrock"
+
+
+def test_sssp_correct_with_near_far(skewed_weighted, source):
+    partition = random_partition(skewed_weighted, 8, seed=0)
+    result = GunrockEngine(dgx1(8)).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    assert np.allclose(result.values,
+                       reference_sssp(skewed_weighted, source))
+
+
+def test_near_far_doubles_sync(skewed_weighted, source):
+    partition = random_partition(skewed_weighted, 8, seed=0)
+    near_far = GunrockEngine(dgx1(8), near_far_sssp=True).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    plain = GunrockEngine(dgx1(8), near_far_sssp=False).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    assert near_far.breakdown.sync == pytest.approx(
+        2.0 * plain.breakdown.sync
+    )
+
+
+def test_near_far_discount_decays_with_scale(skewed_weighted, source):
+    one = GunrockEngine(single_gpu())
+    eight = GunrockEngine(dgx1(8))
+    p1 = random_partition(skewed_weighted, 1, seed=0)
+    p8 = random_partition(skewed_weighted, 8, seed=0)
+    r1 = one.run(skewed_weighted, p1, "sssp", source=source)
+    r8 = eight.run(skewed_weighted, p8, "sssp", source=source)
+    plain1 = GunrockEngine(single_gpu(), near_far_sssp=False).run(
+        skewed_weighted, p1, "sssp", source=source
+    )
+    plain8 = GunrockEngine(dgx1(8), near_far_sssp=False).run(
+        skewed_weighted, p8, "sssp", source=source
+    )
+    edges = lambda res: sum(r.frontier_edges for r in res.iterations)
+    saving1 = 1 - edges(r1) / edges(plain1)
+    saving8 = 1 - edges(r8) / edges(plain8)
+    assert saving1 > 4 * saving8  # the discount evaporates at scale
+
+
+def test_near_far_discount_never_drops_fragments(skewed_weighted, source):
+    partition = random_partition(skewed_weighted, 8, seed=0)
+    result = GunrockEngine(dgx1(8)).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    assert result.converged
+
+
+def test_all_workers_always_sync(skewed_graph, skewed_partition, source):
+    result = GunrockEngine(dgx1(8)).run(
+        skewed_graph, skewed_partition, "bfs", source=source
+    )
+    assert all(r.num_active == 8 for r in result.iterations)
+    assert all(not r.fsteal_applied for r in result.iterations)
+
+
+def test_pr_has_no_special_casing(skewed_graph, skewed_partition):
+    near_far = GunrockEngine(dgx1(8)).run(
+        skewed_graph, skewed_partition, "pr", max_rounds=5
+    )
+    plain = GunrockEngine(dgx1(8), near_far_sssp=False).run(
+        skewed_graph, skewed_partition, "pr", max_rounds=5
+    )
+    assert near_far.total_seconds == pytest.approx(plain.total_seconds)

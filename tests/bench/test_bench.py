@@ -1,0 +1,136 @@
+"""Unit tests for the benchmark harness (workloads, runner, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Cell,
+    algorithm_params,
+    cached_partition,
+    format_breakdown,
+    format_series,
+    format_table,
+    make_engine,
+    pick_source,
+    prepare_graph,
+    run_cell,
+    switch_points,
+)
+from repro.core import GumConfig
+from repro.errors import EngineError
+
+
+def test_prepare_graph_symmetrizes_for_wcc():
+    graph = prepare_graph("LJ", "wcc")
+    assert not graph.directed
+    assert graph.name == "LJ"
+
+
+def test_prepare_graph_weights_for_sssp():
+    graph = prepare_graph("LJ", "sssp")
+    assert graph.is_weighted
+    bfs_graph = prepare_graph("LJ", "bfs")
+    assert not bfs_graph.is_weighted
+
+
+def test_prepare_graph_cached():
+    assert prepare_graph("TX", "bfs") is prepare_graph("TX", "bfs")
+
+
+def test_pick_source_not_isolated():
+    graph = prepare_graph("LJ", "bfs")
+    source = pick_source("LJ")
+    assert graph.out_degree(source) > 0
+    assert pick_source("LJ") == source
+
+
+def test_cached_partition_identity():
+    graph = prepare_graph("TX", "bfs")
+    a = cached_partition(graph, 8, "random")
+    b = cached_partition(graph, 8, "random")
+    c = cached_partition(graph, 4, "random")
+    assert a is b
+    assert a is not c
+
+
+def test_algorithm_params():
+    assert "source" in algorithm_params("bfs", "TX")
+    assert "source" in algorithm_params("sssp", "TX")
+    assert algorithm_params("wcc", "TX") == {}
+    assert "max_rounds" in algorithm_params("pr", "TX")
+    with pytest.raises(EngineError):
+        algorithm_params("apsp", "TX")
+
+
+@pytest.mark.parametrize(
+    "name", ["gum", "gunrock", "groute", "gum-nosteal", "bsp"]
+)
+def test_make_engine(name):
+    engine = make_engine(name, num_gpus=4)
+    assert engine.topology.num_gpus == 4
+
+
+def test_make_engine_unknown():
+    with pytest.raises(EngineError, match="unknown engine"):
+        make_engine("ligra")
+
+
+def test_run_cell_smoke(oracle_config):
+    cell = Cell("gunrock", "bfs", "TX", num_gpus=4)
+    result = run_cell(cell, gum_config=oracle_config)
+    assert result.converged
+    assert result.num_gpus == 4
+    assert "gunrock/bfs/TX@4gpu" in cell.label()
+
+
+def test_run_cell_engines_agree_on_values(oracle_config):
+    gum = run_cell(Cell("gum", "bfs", "TX", 4), gum_config=oracle_config)
+    gunrock = run_cell(Cell("gunrock", "bfs", "TX", 4))
+    groute = run_cell(Cell("groute", "bfs", "TX", 4))
+    assert np.allclose(gum.values, gunrock.values)
+    assert np.allclose(gum.values, groute.values)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def test_format_table():
+    text = format_table(
+        rows=["gum", "gunrock"],
+        columns=["LJ", "OR"],
+        cells={("gum", "LJ"): 1.5, ("gunrock", "LJ"): 3.0,
+               ("gum", "OR"): 2.0},
+        title="Table III",
+        best_of_column=True,
+    )
+    assert "Table III" in text
+    assert "1.50*" in text  # gum wins LJ
+    assert text.count("-") >= 1  # missing gunrock/OR cell
+
+
+def test_format_breakdown():
+    text = format_breakdown(
+        ["run1"],
+        [{"compute": 1.0, "communication": 0.5, "serialization": 0.1,
+          "sync": 0.2, "overhead": 0.05, "total": 1.85}],
+        title="Fig 6",
+    )
+    assert "Fig 6" in text
+    assert "compute" in text
+    assert "1.850" in text
+
+
+def test_format_series_downsamples():
+    text = format_series("groups", list(range(100)),
+                         [float(x) for x in range(100)], max_points=10)
+    assert text.count("->") <= 13
+    assert "99" in text  # last point always included
+    assert format_series("empty", [], []) == "empty: (empty)"
+
+
+def test_switch_points():
+    assert switch_points([8, 8, 6, 6, 6, 4, 8]) == [
+        (0, 8), (2, 6), (5, 4), (6, 8),
+    ]
+    assert switch_points([]) == []
+    assert switch_points([3]) == [(0, 3)]

@@ -1,0 +1,41 @@
+"""Unit tests for the calibration report."""
+
+import pytest
+
+from repro.bench.calibration import calibration_summary, format_calibration
+from repro.hardware import dgx1, single_gpu
+
+
+def test_summary_consistency(topology8):
+    summary = calibration_summary(topology8)
+    assert summary["edge_scale"] == 1000.0
+    assert summary["local_bandwidth_gbps"] == pytest.approx(900.0)
+    assert (
+        summary["min_remote_bandwidth_gbps"]
+        <= summary["max_remote_bandwidth_gbps"]
+    )
+    # hostile frontiers cost several times more than easy ones
+    assert summary["edge_cost_hard_us"] > 2 * summary["edge_cost_easy_us"]
+    # sync with 8 workers costs more than with 1
+    assert summary["sync_full_group_us"] > summary["sync_single_us"]
+    # the sync-bound regime boundary is positive and finite
+    assert 0 < summary["sync_bound_below_edges_per_worker"] < 1e7
+
+
+def test_single_gpu_summary():
+    summary = calibration_summary(single_gpu())
+    assert summary["remote_edge_tax_fastest_us"] == 0.0
+
+
+def test_format_report(topology8):
+    text = format_calibration(topology8)
+    assert "virtual machine calibration" in text
+    assert "sync-bound below" in text
+    assert str(1000.0) in text or "1000.000" in text
+
+
+def test_report_matches_regime_story(topology8):
+    # the documented LT story: a near-empty iteration at 8 workers
+    # costs ~0.8 ms of sync — i.e. hundreds of microseconds per worker
+    summary = calibration_summary(dgx1(8))
+    assert 500 < summary["sync_full_group_us"] < 1500

@@ -1,0 +1,41 @@
+"""Unit tests for the experiment matrix runner."""
+
+import numpy as np
+
+from repro.bench import Cell, run_matrix
+from repro.core import GumConfig
+
+
+def test_run_matrix_covers_cross_product():
+    results = run_matrix(
+        engines=("gunrock", "gum"),
+        algorithms=("bfs",),
+        graphs=("TX", "CA"),
+        num_gpus=4,
+        gum_config=GumConfig(cost_model="oracle"),
+    )
+    assert len(results) == 4
+    assert Cell("gum", "bfs", "TX", 4) in results
+    assert Cell("gunrock", "bfs", "CA", 4) in results
+    for cell, result in results.items():
+        assert result.engine == cell.engine
+        assert result.num_gpus == 4
+        assert result.converged
+
+
+def test_run_matrix_results_agree_per_graph():
+    results = run_matrix(
+        engines=("gunrock", "gum"),
+        algorithms=("bfs",),
+        graphs=("TX",),
+        num_gpus=4,
+        gum_config=GumConfig(cost_model="oracle"),
+    )
+    gum = results[Cell("gum", "bfs", "TX", 4)]
+    gunrock = results[Cell("gunrock", "bfs", "TX", 4)]
+    assert np.allclose(gum.values, gunrock.values)
+
+
+def test_cell_label():
+    cell = Cell("gum", "sssp", "EU", 2, "metis")
+    assert cell.label() == "gum/sssp/EU@2gpu/metis"

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Everything here is small and deterministic: tests must run in seconds
+and never depend on benchmark-scale inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GumConfig
+from repro.graph import (
+    from_edges,
+    rmat,
+    road_network,
+    symmetrize,
+    with_random_weights,
+)
+from repro.hardware import dgx1
+from repro.partition import random_partition
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """The hand-checkable 6-vertex graph used across unit tests.
+
+    Edges: 0->1, 0->2, 1->3, 2->3, 3->4, 4->5, 5->0 (a cycle with
+    chords); every vertex reachable from 0.
+    """
+    return from_edges(
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 0)],
+        num_vertices=6,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def skewed_graph():
+    """A small scale-free graph (R-MAT) for stealing-relevant tests."""
+    return rmat(10, 10, seed=5, name="skewed")
+
+
+@pytest.fixture(scope="session")
+def skewed_weighted(skewed_graph):
+    """Weighted variant of :func:`skewed_graph` for SSSP."""
+    return with_random_weights(skewed_graph, seed=6)
+
+
+@pytest.fixture(scope="session")
+def skewed_symmetric(skewed_graph):
+    """Symmetrized variant of :func:`skewed_graph` for WCC."""
+    return symmetrize(skewed_graph)
+
+
+@pytest.fixture(scope="session")
+def road_graph():
+    """A long thin lattice exhibiting the long-tail regime."""
+    return road_network(6, 80, seed=3, name="miniroad")
+
+
+@pytest.fixture(scope="session")
+def topology8():
+    """The 8-GPU DGX-1 hybrid cube mesh."""
+    return dgx1(8)
+
+
+@pytest.fixture(scope="session")
+def skewed_partition(skewed_graph):
+    """8-way random partition of the skewed graph."""
+    return random_partition(skewed_graph, 8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def source(skewed_graph):
+    """A guaranteed non-isolated traversal source."""
+    return int(np.argmax(skewed_graph.out_degrees()))
+
+
+@pytest.fixture()
+def oracle_config():
+    """GUM config with the oracle cost model (no training in tests)."""
+    return GumConfig(cost_model="oracle")

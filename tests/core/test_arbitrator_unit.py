@@ -1,0 +1,105 @@
+"""Focused unit tests for arbitrator internals (gate, backoff, makespan)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GumConfig, GumEngine, GumScheduler
+from repro.core.arbitrator import GumScheduler as _Sched
+from repro.graph import erdos_renyi, from_edge_arrays, with_random_weights
+from repro.hardware import dgx1
+from repro.partition import random_partition, segmented_partition
+
+
+def test_static_makespan():
+    costs = np.array([[1.0, 2.0], [3.0, 4.0]])
+    workloads = np.array([10, 10])
+    worker_of = np.array([0, 1])
+    # worker 0 gets fragment 0 (10 * 1), worker 1 gets fragment 1 (10 * 4)
+    assert _Sched._static_makespan(costs, workloads, worker_of) == 40.0
+    # both fragments on worker 0: 10*1 + 10*3
+    assert _Sched._static_makespan(
+        costs, workloads, np.array([0, 0])
+    ) == 40.0
+    assert _Sched._static_makespan(
+        costs, np.array([0, 0]), worker_of
+    ) == 0.0
+
+
+def test_gate_suppresses_unprofitable_steals(skewed_weighted, source):
+    """On a near-balanced random partition the gate should suppress
+    most steals that the raw t1/t2 thresholds would admit."""
+    partition = random_partition(skewed_weighted, 8, seed=0)
+    eager = GumConfig(
+        fsteal=True, osteal=False, cost_model="oracle",
+        t1_min_edges=0, t2_imbalance_edges=0, t2_imbalance_ratio=0.0,
+    )
+    run = GumEngine(dgx1(8), eager).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    committed = sum(r.fsteal_applied for r in run.iterations)
+    # the busiest iterations steal; the tiny ones are gated out
+    assert committed < run.num_iterations
+
+
+def test_gate_never_blocks_profitable_steals(skewed_weighted, source):
+    """On a concentrated (segmented) partition the big iterations must
+    still steal despite the gate."""
+    partition = segmented_partition(skewed_weighted, 8)
+    config = GumConfig(fsteal=True, osteal=False, cost_model="oracle")
+    run = GumEngine(dgx1(8), config).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    assert sum(r.stolen_edges for r in run.iterations) > 0
+
+
+def test_osteal_backoff_reduces_evaluations():
+    """A long stable tail must not pay an enumeration every cooldown."""
+    # long weighted path: hundreds of tiny iterations, stable decision
+    n = 400
+    a = np.arange(n - 1, dtype=np.int64)
+    graph = with_random_weights(
+        from_edge_arrays(a, a + 1, num_vertices=n, name="chain"), seed=1
+    )
+    partition = random_partition(graph, 8, seed=0)
+    fast = GumConfig(cost_model="oracle", osteal_cooldown=5)
+    run = GumEngine(dgx1(8), fast).run(graph, partition, "sssp", source=0)
+    # count iterations charged with OSteal-scale overhead
+    eval_cost = GumScheduler._modeled_osteal_seconds(8)
+    evaluations = sum(
+        1 for r in run.iterations
+        if r.breakdown.overhead >= eval_cost
+    )
+    # without backoff this would be ~iterations/cooldown = ~80
+    assert evaluations < run.num_iterations / 5 / 2
+    assert run.converged
+
+
+def test_explosive_regrowth_bypasses_backoff():
+    """The 4x workload-growth trigger must fire even mid-backoff."""
+    from repro.graph import erdos_renyi
+
+    fuse = 80
+    blob = erdos_renyi(500, 30_000, seed=0)
+    bsrc, bdst = blob.edge_array()
+    path = np.arange(fuse, dtype=np.int64)
+    src = np.concatenate([path[:-1], [fuse - 1], bsrc + fuse])
+    dst = np.concatenate([path[1:], [fuse], bdst + fuse])
+    graph = from_edge_arrays(src, dst, name="fusebomb2")
+    partition = random_partition(graph, 8, seed=0)
+    config = GumConfig(cost_model="oracle", osteal_cooldown=5)
+    run = GumEngine(dgx1(8), config).run(graph, partition, "bfs",
+                                         source=0)
+    sizes = run.group_size_series()
+    assert min(sizes[:fuse]) < 4  # folded hard during the fuse
+    # regrew within a few iterations of the explosion
+    explosion = fuse
+    assert max(sizes[explosion: explosion + 6]) == 8
+
+
+def test_modeled_overhead_scales_with_workers():
+    assert GumScheduler._modeled_osteal_seconds(8) == pytest.approx(
+        2 * GumScheduler._modeled_osteal_seconds(4)
+    )
+    assert GumScheduler._modeled_fsteal_seconds(8, 0) > (
+        GumScheduler._modeled_fsteal_seconds(2, 0)
+    )

@@ -1,0 +1,177 @@
+"""Unit tests for cost-model training and inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MODEL_FAMILIES,
+    DecisionTreeModel,
+    KernelRidgeModel,
+    LinearSGDModel,
+    OracleCostModel,
+    PolynomialSGDModel,
+    UniformCostModel,
+    collect_training_data,
+    rmsre,
+)
+from repro.core.costmodel import _polynomial_expand
+from repro.errors import CostModelError
+from repro.graph import rmat, road_network, web_graph
+from repro.graph.features import FrontierFeatures
+
+
+@pytest.fixture(scope="module")
+def training_set():
+    graphs = [
+        rmat(8, 8, seed=1),
+        web_graph(800, 8, seed=2),
+        road_network(8, 40, seed=3),
+    ]
+    return collect_training_data(graphs, algorithms=("bfs", "sssp"),
+                                 num_fragments=4, seed=0)
+
+
+def test_rmsre():
+    actual = np.array([1.0, 2.0, 4.0])
+    assert rmsre(actual, actual) == 0.0
+    assert rmsre(actual * 1.1, actual) == pytest.approx(0.1)
+    with pytest.raises(CostModelError):
+        rmsre(np.array([]), np.array([]))
+    with pytest.raises(CostModelError):
+        rmsre(np.array([1.0]), np.array([0.0]))
+
+
+def test_polynomial_expand_counts():
+    x = np.random.default_rng(0).random((5, 3))
+    expanded = _polynomial_expand(x, 2)
+    # 1 + 3 linear + 6 quadratic (with cross terms)
+    assert expanded.shape == (5, 10)
+    assert np.allclose(expanded[:, 0], 1.0)
+
+
+def test_collect_training_data_shapes(training_set):
+    features, costs = training_set
+    assert features.ndim == 2 and features.shape[1] == 6
+    assert costs.shape == (features.shape[0],)
+    assert np.all(costs > 0)
+    assert features.shape[0] > 50
+
+
+@pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+def test_families_fit_and_predict(family, training_set):
+    features, costs = training_set
+    model = MODEL_FAMILIES[family]()
+    report = model.fit(features, costs)
+    assert report.model == model.name
+    assert report.train_seconds >= 0
+    predictions = model.predict(features)
+    assert predictions.shape == costs.shape
+    assert np.all(predictions > 0)
+    assert report.train_rmsre == pytest.approx(
+        rmsre(predictions, costs)
+    )
+
+
+@pytest.mark.parametrize("family", sorted(MODEL_FAMILIES))
+def test_families_beat_uniform(family, training_set):
+    features, costs = training_set
+    model = MODEL_FAMILIES[family]()
+    model.fit(features, costs)
+    uniform = UniformCostModel()
+    uniform.fit(features, costs)
+    assert rmsre(model.predict(features), costs) < rmsre(
+        uniform.predict(features), costs
+    )
+
+
+def test_polynomial_beats_linear(training_set):
+    features, costs = training_set
+    poly = PolynomialSGDModel()
+    linear = LinearSGDModel()
+    poly_report = poly.fit(features, costs)
+    linear_report = linear.fit(features, costs)
+    assert poly_report.train_rmsre < linear_report.train_rmsre
+
+
+def test_generalization(training_set):
+    features, costs = training_set
+    rng = np.random.default_rng(0)
+    order = rng.permutation(costs.size)
+    split = int(0.8 * costs.size)
+    train, test = order[:split], order[split:]
+    model = PolynomialSGDModel()
+    model.fit(features[train], costs[train])
+    test_error = rmsre(model.predict(features[test]), costs[test])
+    uniform = UniformCostModel()
+    uniform.fit(features[train], costs[train])
+    uniform_error = rmsre(uniform.predict(features[test]), costs[test])
+    # generalizes (held-out split), not just memorizes: better than the
+    # constant predictor even on this ~300-sample corpus, and close to
+    # its own training error (no runaway overfit, unlike exact WLS on
+    # 210 parameters would be)
+    assert test_error < uniform_error
+    train_error = rmsre(model.predict(features[train]), costs[train])
+    assert test_error < 2.0 * train_error
+
+
+def test_predict_before_fit_raises():
+    for model in (PolynomialSGDModel(), DecisionTreeModel(),
+                  KernelRidgeModel()):
+        with pytest.raises(CostModelError, match="before fit"):
+            model.predict(np.zeros((1, 6)))
+
+
+def test_fit_input_validation():
+    model = PolynomialSGDModel()
+    with pytest.raises(CostModelError):
+        model.fit(np.zeros((0, 6)), np.zeros(0))
+    with pytest.raises(CostModelError, match="positive"):
+        model.fit(np.zeros((2, 6)), np.array([1.0, 0.0]))
+    with pytest.raises(CostModelError, match="degree"):
+        PolynomialSGDModel(degree=0)
+    with pytest.raises(CostModelError):
+        LinearSGDModel(degree=3)
+
+
+def test_oracle_matches_device_model():
+    oracle = OracleCostModel()
+    features = FrontierFeatures(
+        avg_in_degree=5.0, avg_out_degree=4.0, in_degree_range=10.0,
+        out_degree_range=12.0, gini=0.4, entropy=0.7, size=1,
+        total_edges=1,
+    )
+    direct = oracle.edge_cost_seconds(features)
+    via_matrix = oracle.predict(features.vector()[None, :])[0]
+    assert direct == pytest.approx(via_matrix)
+
+
+def test_uniform_fits_geometric_mean(training_set):
+    features, costs = training_set
+    model = UniformCostModel()
+    model.fit(features, costs)
+    expected = float(np.exp(np.mean(np.log(costs))))
+    assert model.predict(features[:3])[0] == pytest.approx(expected)
+
+
+def test_edge_cost_seconds_convenience(training_set):
+    features, costs = training_set
+    model = DecisionTreeModel()
+    model.fit(features, costs)
+    sample = FrontierFeatures(
+        avg_in_degree=features[0, 0], avg_out_degree=features[0, 1],
+        in_degree_range=features[0, 2], out_degree_range=features[0, 3],
+        gini=features[0, 4], entropy=features[0, 5], size=5,
+        total_edges=20,
+    )
+    assert model.edge_cost_seconds(sample) == pytest.approx(
+        model.predict(features[0][None, :])[0]
+    )
+
+
+def test_training_is_deterministic(training_set):
+    features, costs = training_set
+    a = PolynomialSGDModel(seed=7)
+    b = PolynomialSGDModel(seed=7)
+    a.fit(features, costs)
+    b.fit(features, costs)
+    assert np.allclose(a.predict(features), b.predict(features))

@@ -1,0 +1,58 @@
+"""Unit tests for hub-vertex caching."""
+
+import numpy as np
+import pytest
+
+from repro.core import HubCache
+from repro.graph import star
+
+
+def test_star_hub_detection():
+    graph = star(100)  # center has in-degree 100
+    cache = HubCache(graph, in_degree_threshold=50)
+    assert cache.num_hubs == 1
+    assert cache.bitmap[0]
+    assert not cache.bitmap[1:].any()
+    # the center's adjacency (100 out-edges) is what gets replicated
+    assert cache.cached_edges == 100
+
+
+def test_threshold_semantics(skewed_graph):
+    lo = HubCache(skewed_graph, in_degree_threshold=4)
+    hi = HubCache(skewed_graph, in_degree_threshold=64)
+    assert lo.num_hubs > hi.num_hubs
+    in_deg = skewed_graph.in_degrees()
+    assert np.array_equal(lo.bitmap, in_deg > 4)
+
+
+def test_hub_edges_counts_only_hubs(skewed_graph):
+    cache = HubCache(skewed_graph, in_degree_threshold=16)
+    vertices = np.arange(0, 200, dtype=np.int64)
+    hubs = vertices[cache.bitmap[vertices]]
+    expected = int(skewed_graph.out_degrees(hubs).sum()) if hubs.size else 0
+    assert cache.hub_edges(skewed_graph, vertices) == expected
+    assert cache.hub_edges(skewed_graph,
+                           np.array([], dtype=np.int64)) == 0
+
+
+def test_hub_edges_bounded_by_frontier_work(skewed_graph):
+    cache = HubCache(skewed_graph, in_degree_threshold=8)
+    vertices = np.arange(50, 400, dtype=np.int64)
+    total = int(skewed_graph.out_degrees(vertices).sum())
+    assert 0 <= cache.hub_edges(skewed_graph, vertices) <= total
+
+
+def test_memory_accounting(skewed_graph):
+    from repro import config
+
+    cache = HubCache(skewed_graph, in_degree_threshold=32)
+    assert cache.memory_bytes_per_gpu() == (
+        cache.cached_edges * config.BYTES_PER_EDGE
+    )
+
+
+def test_huge_threshold_means_no_hubs(skewed_graph):
+    cache = HubCache(skewed_graph, in_degree_threshold=10**9)
+    assert cache.num_hubs == 0
+    assert cache.cached_edges == 0
+    assert "hubs=0" in repr(cache)

@@ -1,0 +1,164 @@
+"""Unit tests for the reduction tree and OSteal (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.core import (
+    OracleCostModel,
+    ReductionTree,
+    make_solver,
+    plan_osteal,
+)
+from repro.errors import TopologyError
+from repro.graph.features import FrontierFeatures
+from repro.hardware import dgx1, fully_connected, measure_comm_cost_matrix
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return ReductionTree(dgx1(8))
+
+
+def test_merge_sequence_complete(tree):
+    merges = tree.merge_sequence
+    assert len(merges) == 7
+    victims = [v for v, __ in merges]
+    assert len(set(victims)) == 7  # each GPU evicted at most once
+    # thieves must still be alive when they steal
+    alive = set(range(8))
+    for victim, thief in merges:
+        assert victim in alive and thief in alive
+        alive.discard(victim)
+    assert len(alive) == 1
+
+
+def test_first_level_uses_wide_links(tree):
+    lanes = dgx1(8).lane_matrix
+    for victim, thief in tree.merge_sequence[:4]:
+        assert lanes[victim, thief] == 2  # hybrid cube mesh doubled links
+
+
+def test_ownership_chains(tree):
+    for m in range(1, 9):
+        ownership = tree.ownership(m)
+        active = tree.active_workers(m)
+        assert len(active) == m
+        # every fragment is owned by an active worker
+        assert set(np.unique(ownership)).issubset(set(active))
+        # active workers own themselves
+        for worker in active:
+            assert ownership[worker] == worker
+
+
+def test_full_group_is_identity(tree):
+    assert np.array_equal(tree.ownership(8), np.arange(8))
+    assert tree.active_workers(8) == list(range(8))
+
+
+def test_single_group_owns_everything(tree):
+    ownership = tree.ownership(1)
+    assert np.unique(ownership).size == 1
+
+
+def test_monotone_folding(tree):
+    # shrinking the group never revives an evicted worker
+    previous = set(tree.active_workers(8))
+    for m in range(7, 0, -1):
+        current = set(tree.active_workers(m))
+        assert current.issubset(previous)
+        previous = current
+
+
+def test_group_size_bounds(tree):
+    with pytest.raises(TopologyError):
+        tree.ownership(0)
+    with pytest.raises(TopologyError):
+        tree.ownership(9)
+
+
+def test_tree_on_other_topologies():
+    ReductionTree(fully_connected(5)).ownership(2)
+    single = ReductionTree(dgx1(1))
+    assert single.merge_sequence == []
+    assert single.active_workers(1) == [0]
+
+
+# ----------------------------------------------------------------------
+# OSteal (Algorithm 2)
+# ----------------------------------------------------------------------
+def balanced_setup(workload_per_fragment):
+    topology = dgx1(8)
+    tree = ReductionTree(topology)
+    comm = measure_comm_cost_matrix(topology, config.BYTES_PER_EDGE, seed=0)
+    features = [
+        FrontierFeatures(4.0, 4.0, 2.0, 2.0, 0.2, 0.5, 50,
+                         workload_per_fragment)
+        for __ in range(8)
+    ]
+    workloads = np.full(8, workload_per_fragment, dtype=np.int64)
+    home = np.arange(8, dtype=np.int64)
+    return tree, comm, features, workloads, home
+
+
+def test_osteal_folds_under_tiny_workload():
+    tree, comm, features, workloads, home = balanced_setup(5)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=1e-4,
+    )
+    assert decision.group_size == 1
+
+
+def test_osteal_keeps_everyone_under_heavy_workload():
+    tree, comm, features, workloads, home = balanced_setup(500_000)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=1e-4,
+    )
+    assert decision.group_size == 8
+
+
+def test_osteal_zero_sync_never_folds():
+    tree, comm, features, workloads, home = balanced_setup(1000)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=0.0,
+    )
+    assert decision.group_size == 8
+
+
+def test_osteal_huge_sync_always_folds():
+    tree, comm, features, workloads, home = balanced_setup(100_000)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=10.0,
+    )
+    assert decision.group_size == 1
+
+
+def test_osteal_decision_is_consistent():
+    tree, comm, features, workloads, home = balanced_setup(2_000)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=1e-4,
+    )
+    m = decision.group_size
+    assert decision.active_workers == tree.active_workers(m)
+    assert np.array_equal(decision.ownership, tree.ownership(m))
+    assert decision.estimated_cost == pytest.approx(
+        decision.estimated_kernel + 1e-4 * m
+    )
+    # the chosen policy's FSteal keeps work on active workers only
+    inactive = sorted(set(range(8)) - set(decision.active_workers))
+    assert np.all(decision.fsteal.assignment[:, inactive] == 0)
+
+
+def test_osteal_candidate_restriction():
+    tree, comm, features, workloads, home = balanced_setup(2_000)
+    decision = plan_osteal(
+        tree, comm, features, workloads, home, OracleCostModel(),
+        make_solver("greedy"), p_estimate=1e-4,
+        candidate_sizes=[4],
+    )
+    assert decision.group_size == 4

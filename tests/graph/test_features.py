@@ -1,0 +1,66 @@
+"""Unit tests for Table-I frontier features."""
+
+import numpy as np
+import pytest
+
+from repro.graph.features import (
+    FEATURE_NAMES,
+    FrontierFeatures,
+    frontier_features,
+)
+
+
+def test_empty_frontier(tiny_graph):
+    feats = frontier_features(tiny_graph, np.array([], dtype=np.int64))
+    assert feats == FrontierFeatures.empty()
+    assert feats.total_edges == 0
+    assert np.array_equal(feats.vector(), np.zeros(6))
+
+
+def test_tiny_frontier_values(tiny_graph):
+    feats = frontier_features(tiny_graph, np.array([0, 3]))
+    # out-degrees: 2 and 1; in-degrees: 1 and 2
+    assert feats.avg_out_degree == pytest.approx(1.5)
+    assert feats.avg_in_degree == pytest.approx(1.5)
+    assert feats.out_degree_range == 1
+    assert feats.in_degree_range == 1
+    assert feats.size == 2
+    assert feats.total_edges == 3
+
+
+def test_vector_order(tiny_graph):
+    feats = frontier_features(tiny_graph, np.array([0]))
+    vector = feats.vector()
+    assert vector.shape == (len(FEATURE_NAMES),)
+    assert vector[0] == feats.avg_in_degree
+    assert vector[1] == feats.avg_out_degree
+    assert vector[4] == feats.gini
+    assert vector[5] == feats.entropy
+
+
+def test_single_vertex_has_zero_ranges(skewed_graph):
+    feats = frontier_features(skewed_graph, np.array([3]))
+    assert feats.out_degree_range == 0
+    assert feats.in_degree_range == 0
+    assert feats.gini == pytest.approx(0.0, abs=1e-12)
+
+
+def test_full_frontier_matches_graph_totals(skewed_graph):
+    everyone = np.arange(skewed_graph.num_vertices, dtype=np.int64)
+    feats = frontier_features(skewed_graph, everyone)
+    assert feats.total_edges == skewed_graph.num_edges
+    assert feats.avg_out_degree == pytest.approx(
+        skewed_graph.num_edges / skewed_graph.num_vertices
+    )
+
+
+def test_features_bounded(skewed_graph):
+    rng = np.random.default_rng(0)
+    for __ in range(5):
+        frontier = np.unique(
+            rng.integers(0, skewed_graph.num_vertices, size=100)
+        )
+        feats = frontier_features(skewed_graph, frontier)
+        assert 0.0 <= feats.gini <= 1.0
+        assert 0.0 <= feats.entropy <= 1.0 + 1e-9
+        assert feats.total_edges >= 0

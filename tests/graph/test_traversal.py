@@ -1,0 +1,93 @@
+"""Unit tests for traversal/subgraph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_edges, path_graph, rmat, star
+from repro.graph.traversal import (
+    ego_network,
+    filter_by_degree,
+    induced_subgraph,
+    k_hop_neighborhood,
+    top_degree_vertices,
+)
+
+
+def test_k_hop_on_path():
+    graph = path_graph(10)
+    hops = k_hop_neighborhood(graph, np.array([5]), 2)
+    assert hops.tolist() == [3, 4, 5, 6, 7]
+    zero = k_hop_neighborhood(graph, np.array([5]), 0)
+    assert zero.tolist() == [5]
+
+
+def test_k_hop_multiple_sources(tiny_graph):
+    hops = k_hop_neighborhood(tiny_graph, np.array([0, 4]), 1)
+    # 0 -> {1,2}, 4 -> {5}
+    assert hops.tolist() == [0, 1, 2, 4, 5]
+
+
+def test_k_hop_validation(tiny_graph):
+    with pytest.raises(GraphError, match="negative"):
+        k_hop_neighborhood(tiny_graph, np.array([0]), -1)
+    with pytest.raises(GraphError, match="out of range"):
+        k_hop_neighborhood(tiny_graph, np.array([99]), 1)
+
+
+def test_induced_subgraph(tiny_graph):
+    sub, mapping = induced_subgraph(tiny_graph, np.array([0, 1, 2, 3]))
+    assert sub.num_vertices == 4
+    assert mapping.tolist() == [0, 1, 2, 3]
+    # edges inside the set: 0->1, 0->2, 1->3, 2->3
+    assert sub.num_edges == 4
+    assert sorted(sub.neighbors(0).tolist()) == [1, 2]
+
+
+def test_induced_subgraph_preserves_weights():
+    graph = from_edges([(0, 1, 3.0), (1, 2, 5.0), (2, 0, 7.0)])
+    sub, mapping = induced_subgraph(graph, np.array([0, 1]))
+    assert sub.num_edges == 1
+    assert sub.weights.tolist() == [3.0]
+
+
+def test_induced_subgraph_renumbering():
+    graph = path_graph(10)
+    sub, mapping = induced_subgraph(graph, np.array([7, 8, 9]))
+    assert mapping.tolist() == [7, 8, 9]
+    assert sub.num_vertices == 3
+    assert sub.num_edges == 4  # 7-8, 8-9 both directions
+
+
+def test_filter_by_degree(skewed_graph):
+    heavy = filter_by_degree(skewed_graph, min_out=50)
+    assert np.all(skewed_graph.out_degrees(heavy) >= 50)
+    mid = filter_by_degree(skewed_graph, min_out=2, max_out=5)
+    degrees = skewed_graph.out_degrees(mid)
+    assert np.all((degrees >= 2) & (degrees <= 5))
+
+
+def test_ego_network():
+    graph = star(8)
+    ego, mapping = ego_network(graph, 0, hops=1)
+    assert ego.num_vertices == 9  # the whole star
+    leaf_ego, leaf_mapping = ego_network(graph, 3, hops=1)
+    assert leaf_mapping.tolist() == [0, 3]
+    with pytest.raises(GraphError, match="center"):
+        ego_network(graph, 100)
+
+
+def test_top_degree_vertices(skewed_graph):
+    top = top_degree_vertices(skewed_graph, 5)
+    degrees = skewed_graph.out_degrees()
+    assert degrees[top[0]] == degrees.max()
+    assert np.all(np.diff(degrees[top]) <= 0)
+    top_in = top_degree_vertices(skewed_graph, 3, by="in")
+    assert skewed_graph.in_degrees()[top_in[0]] == (
+        skewed_graph.in_degrees().max()
+    )
+    with pytest.raises(GraphError, match="degree kind"):
+        top_degree_vertices(skewed_graph, 3, by="total")
+    assert top_degree_vertices(skewed_graph, 10**9).size == (
+        skewed_graph.num_vertices
+    )

@@ -1,0 +1,168 @@
+"""Unit tests for the device model, timing model, and micro-benchmark."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.graph.features import FrontierFeatures
+from repro.hardware import (
+    DeviceModel,
+    GPUSpec,
+    TimingModel,
+    dgx1,
+    measure_bandwidth_matrix,
+    measure_comm_cost_matrix,
+    single_gpu,
+)
+
+
+def feats(gini=0.0, entropy=0.0, avg_out=4.0, out_range=0.0,
+          avg_in=4.0, in_range=0.0, size=100, edges=400):
+    return FrontierFeatures(
+        avg_in_degree=avg_in, avg_out_degree=avg_out,
+        in_degree_range=in_range, out_degree_range=out_range,
+        gini=gini, entropy=entropy, size=size, total_edges=edges,
+    )
+
+
+# ----------------------------------------------------------------------
+# DeviceModel
+# ----------------------------------------------------------------------
+def test_cost_is_positive_and_deterministic():
+    device = DeviceModel()
+    a = device.true_edge_cost(feats(gini=0.4, entropy=0.5))
+    b = device.true_edge_cost(feats(gini=0.4, entropy=0.5))
+    assert a == b
+    assert a > 0
+
+
+def test_contention_grows_with_skew():
+    device = DeviceModel(noise_amplitude=0.0)
+    low = device.true_edge_cost(feats(gini=0.1, entropy=0.5))
+    high = device.true_edge_cost(feats(gini=0.9, entropy=0.5))
+    assert high > 1.5 * low
+
+
+def test_irregularity_raises_cost():
+    device = DeviceModel(noise_amplitude=0.0)
+    smooth = device.true_edge_cost(feats(out_range=0.0))
+    jagged = device.true_edge_cost(feats(out_range=2000.0))
+    assert jagged > smooth
+
+
+def test_noise_is_bounded():
+    device = DeviceModel(noise_amplitude=0.05)
+    clean = DeviceModel(noise_amplitude=0.0)
+    for gini in (0.1, 0.3, 0.7):
+        noisy_cost = device.true_edge_cost(feats(gini=gini))
+        clean_cost = clean.true_edge_cost(feats(gini=gini))
+        assert abs(noisy_cost / clean_cost - 1.0) <= 0.05 + 1e-9
+
+
+def test_empty_frontier_cost_is_base():
+    device = DeviceModel()
+    cost = device.true_edge_cost(FrontierFeatures.empty())
+    assert cost == pytest.approx(device.gpu.base_edge_cost_ns * 1e-9)
+
+
+def test_oracle_callable():
+    device = DeviceModel()
+    oracle = device.oracle()
+    f = feats(gini=0.5)
+    assert oracle(f) == device.true_edge_cost(f)
+
+
+# ----------------------------------------------------------------------
+# TimingModel
+# ----------------------------------------------------------------------
+def test_sync_scales_with_workers(topology8):
+    timing = TimingModel(topology8)
+    s1 = timing.sync_seconds(1)
+    s8 = timing.sync_seconds(8)
+    spec = timing.sync
+    assert s8 - s1 == pytest.approx(7 * spec.per_worker_us * 1e-6)
+    assert timing.sync_seconds(0) == 0.0
+
+
+def test_comm_cost_matches_bandwidth(topology8):
+    timing = TimingModel(topology8)
+    expected = config.BYTES_PER_EDGE / (
+        topology8.effective_bandwidth(0, 3) * 1e9
+    )
+    assert timing.comm_seconds_per_edge(0, 3) == pytest.approx(expected)
+    # local access is far cheaper than any remote access
+    assert timing.comm_seconds_per_edge(0, 0) < 0.1 * (
+        timing.comm_seconds_per_edge(0, 3)
+    )
+
+
+def test_compute_seconds_linear_in_edges(topology8):
+    timing = TimingModel(topology8)
+    f = feats()
+    assert timing.compute_seconds(2000, f) == pytest.approx(
+        2 * timing.compute_seconds(1000, f)
+    )
+
+
+def test_remote_edge_seconds_combines_terms(topology8):
+    timing = TimingModel(topology8)
+    f = feats()
+    remote = timing.remote_edge_seconds(0, 7, 100, f)
+    local = timing.remote_edge_seconds(0, 0, 100, f)
+    assert remote > local
+
+
+def test_serialization_and_transfer(topology8):
+    timing = TimingModel(topology8)
+    assert timing.serialization_seconds(0) == 0.0
+    assert timing.serialization_seconds(100) > 0
+    assert timing.transfer_seconds(0, 3, 10**6) > 0
+    assert timing.transfer_seconds(0, 0, 10**6) < timing.transfer_seconds(
+        0, 7, 10**6
+    )
+
+
+def test_kernel_launch(topology8):
+    timing = TimingModel(topology8)
+    assert timing.kernel_launch_seconds(3) == pytest.approx(
+        3 * topology8.gpu.kernel_launch_us * 1e-6
+    )
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmark
+# ----------------------------------------------------------------------
+def test_microbench_error_bounded(topology8):
+    true = topology8.effective_bandwidth_matrix()
+    measured = measure_bandwidth_matrix(topology8, seed=0, error=0.02)
+    ratio = measured / true
+    assert np.all(np.abs(ratio - 1.0) <= 0.021)
+    assert np.allclose(measured, measured.T)
+    # local figures are exact datasheet values
+    assert np.allclose(np.diag(measured), np.diag(true))
+
+
+def test_microbench_deterministic(topology8):
+    a = measure_bandwidth_matrix(topology8, seed=1)
+    b = measure_bandwidth_matrix(topology8, seed=1)
+    c = measure_bandwidth_matrix(topology8, seed=2)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_comm_cost_matrix(topology8):
+    costs = measure_comm_cost_matrix(topology8, config.BYTES_PER_EDGE,
+                                     seed=0)
+    assert costs.shape == (8, 8)
+    assert np.all(costs > 0)
+    # remote pairs cost more than local access
+    assert np.all(costs >= np.diag(costs).max() - 1e-15)
+
+
+def test_custom_gpu_spec():
+    spec = GPUSpec(base_edge_cost_ns=100.0, local_bandwidth_gbps=500.0)
+    topo = single_gpu(gpu=spec)
+    timing = TimingModel(topo)
+    assert timing.comm_seconds_per_edge(0, 0) == pytest.approx(
+        config.BYTES_PER_EDGE / (500.0 * 1e9)
+    )

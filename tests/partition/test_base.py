@@ -1,0 +1,77 @@
+"""Unit tests for the Partition structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition import Partition
+
+
+def make_partition(graph, owners):
+    return Partition(
+        graph, np.asarray(owners, dtype=np.int64),
+        int(max(owners)) + 1 if len(owners) else 1,
+    )
+
+
+def test_basic(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 0, 1, 1, 0, 1])
+    assert partition.num_fragments == 2
+    assert partition.vertices_of(0).tolist() == [0, 1, 4]
+    assert partition.vertices_of(1).tolist() == [2, 3, 5]
+    assert partition.fragment_sizes().tolist() == [3, 3]
+
+
+def test_fragment_edges(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 0, 1, 1, 0, 1])
+    # fragment 0 owns vertices 0,1,4 with out-degrees 2,1,1
+    assert partition.fragment_edges().tolist() == [4, 3]
+    assert int(partition.fragment_edges().sum()) == tiny_graph.num_edges
+
+
+def test_outer_vertices(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 0, 1, 1, 0, 1])
+    # fragment 0 edges: 0->1 (inner), 0->2 (outer), 1->3 (outer), 4->5 (outer)
+    assert partition.outer_vertices_of(0).tolist() == [2, 3, 5]
+    assert partition.outer_vertices_of(1).tolist() == [0, 4]
+
+
+def test_split_frontier(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 0, 1, 1, 0, 1])
+    parts = partition.split_frontier(np.array([0, 2, 3, 4]))
+    assert parts[0].tolist() == [0, 4]
+    assert parts[1].tolist() == [2, 3]
+
+
+def test_split_frontier_empty(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 0, 1, 1, 0, 1])
+    parts = partition.split_frontier(np.array([], dtype=np.int64))
+    assert all(p.size == 0 for p in parts)
+
+
+def test_empty_fragment_allowed(tiny_graph):
+    partition = Partition(
+        tiny_graph, np.zeros(6, dtype=np.int64), num_fragments=3
+    )
+    assert partition.vertices_of(2).size == 0
+    assert partition.fragment_edges().tolist() == [7, 0, 0]
+
+
+def test_validation_errors(tiny_graph):
+    with pytest.raises(PartitionError, match="shape"):
+        Partition(tiny_graph, np.zeros(3, dtype=np.int64), 1)
+    with pytest.raises(PartitionError, match="range"):
+        Partition(tiny_graph, np.full(6, 5, dtype=np.int64), 2)
+    with pytest.raises(PartitionError, match="fragment"):
+        Partition(tiny_graph, np.zeros(6, dtype=np.int64), 0)
+
+
+def test_owner_readonly(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 1, 0, 1, 0, 1])
+    with pytest.raises(ValueError):
+        partition.owner[0] = 1
+
+
+def test_validate_passes(tiny_graph):
+    partition = make_partition(tiny_graph, [0, 1, 0, 1, 0, 1])
+    partition.validate()  # must not raise

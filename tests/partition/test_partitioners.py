@@ -1,0 +1,89 @@
+"""Unit tests for the three partitioner families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import grid_2d, rmat
+from repro.partition import (
+    PARTITIONERS,
+    edge_balance,
+    edge_cut_fraction,
+    make_partition,
+    metis_like_partition,
+    random_partition,
+    segmented_partition,
+)
+
+
+@pytest.mark.parametrize("name", sorted(PARTITIONERS))
+def test_partitioners_cover_all_vertices(name, skewed_graph):
+    partition = make_partition(name, skewed_graph, 8, seed=0)
+    assert partition.num_fragments == 8
+    sizes = partition.fragment_sizes()
+    assert int(sizes.sum()) == skewed_graph.num_vertices
+    assert int(partition.fragment_edges().sum()) == skewed_graph.num_edges
+    partition.validate()
+
+
+def test_random_partition_deterministic(skewed_graph):
+    a = random_partition(skewed_graph, 4, seed=1)
+    b = random_partition(skewed_graph, 4, seed=1)
+    c = random_partition(skewed_graph, 4, seed=2)
+    assert np.array_equal(a.owner, b.owner)
+    assert not np.array_equal(a.owner, c.owner)
+
+
+def test_random_partition_roughly_even(skewed_graph):
+    partition = random_partition(skewed_graph, 4, seed=0)
+    sizes = partition.fragment_sizes()
+    assert sizes.min() > 0.8 * sizes.mean()
+
+
+def test_segmented_is_contiguous(skewed_graph):
+    partition = segmented_partition(skewed_graph, 8)
+    owner = partition.owner
+    # contiguous ranges: owner must be non-decreasing over vertex ids
+    assert np.all(np.diff(owner) >= 0)
+
+
+def test_segmented_balances_edges(skewed_graph):
+    partition = segmented_partition(skewed_graph, 8)
+    assert edge_balance(partition) < 1.25
+
+
+def test_segmented_single_fragment(skewed_graph):
+    partition = segmented_partition(skewed_graph, 1)
+    assert np.all(partition.owner == 0)
+
+
+def test_segmented_edgeless_graph():
+    from repro.graph import from_edges
+
+    graph = from_edges([], num_vertices=10)
+    partition = segmented_partition(graph, 3)
+    assert int(partition.fragment_sizes().sum()) == 10
+
+
+def test_metis_like_cut_beats_random_on_local_graph():
+    graph = grid_2d(24, 24, seed=0)
+    metis = metis_like_partition(graph, 4, seed=0)
+    rand = random_partition(graph, 4, seed=0)
+    assert edge_cut_fraction(metis) < 0.5 * edge_cut_fraction(rand)
+
+
+def test_metis_like_respects_balance(skewed_graph):
+    partition = metis_like_partition(skewed_graph, 8, seed=0)
+    assert edge_balance(partition) < 2.0
+
+
+def test_make_partition_unknown():
+    graph = rmat(6, 4, seed=0)
+    with pytest.raises(PartitionError, match="unknown partitioner"):
+        make_partition("kahip", graph, 4)
+
+
+def test_single_fragment_everywhere(skewed_graph):
+    for name in PARTITIONERS:
+        partition = make_partition(name, skewed_graph, 1, seed=0)
+        assert np.all(partition.owner == 0)

@@ -1,0 +1,59 @@
+"""Unit tests for partition quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, from_edges
+from repro.partition import (
+    Partition,
+    edge_balance,
+    edge_cut_fraction,
+    evaluate_partition,
+    replication_factor,
+)
+
+
+def two_way(graph, owners):
+    return Partition(graph, np.asarray(owners, dtype=np.int64), 2)
+
+
+def test_edge_balance_even(tiny_graph):
+    # fragments own 4 and 3 edges -> max/mean = 4/3.5
+    partition = two_way(tiny_graph, [0, 0, 1, 1, 0, 1])
+    assert edge_balance(partition) == pytest.approx(4 / 3.5)
+
+
+def test_edge_balance_degenerate(tiny_graph):
+    partition = two_way(tiny_graph, [0, 0, 0, 0, 0, 0])
+    assert edge_balance(partition) == pytest.approx(2.0)
+
+
+def test_edge_cut_no_cut():
+    graph = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)])
+    partition = two_way(graph, [0, 0, 1, 1])
+    assert edge_cut_fraction(partition) == 0.0
+    assert replication_factor(partition) == pytest.approx(1.0)
+
+
+def test_edge_cut_full():
+    graph = complete_graph(4)
+    partition = two_way(graph, [0, 1, 0, 1])
+    # 8 of 12 edges cross
+    assert edge_cut_fraction(partition) == pytest.approx(8 / 12)
+
+
+def test_replication_counts_ghosts(tiny_graph):
+    partition = two_way(tiny_graph, [0, 0, 1, 1, 0, 1])
+    # fragment 0 sees ghosts {2,3,5}; fragment 1 sees ghosts {0,4}
+    assert replication_factor(partition) == pytest.approx((6 + 5) / 6)
+
+
+def test_evaluate_partition_bundle(tiny_graph):
+    quality = evaluate_partition(two_way(tiny_graph, [0, 0, 1, 1, 0, 1]))
+    as_dict = quality.as_dict()
+    assert set(as_dict) == {
+        "edge_balance", "edge_cut_fraction", "replication_factor",
+    }
+    assert as_dict["edge_cut_fraction"] == pytest.approx(
+        edge_cut_fraction(two_way(tiny_graph, [0, 0, 1, 1, 0, 1]))
+    )

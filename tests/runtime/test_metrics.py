@@ -1,0 +1,99 @@
+"""Unit tests for timing records."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import IterationRecord, RunResult, TimeBreakdown
+
+
+def make_record(iteration, busy, active, wall=None):
+    busy = np.asarray(busy, dtype=np.float64)
+    critical = busy[active].max() if active else 0.0
+    stall = np.zeros_like(busy)
+    stall[active] = critical - busy[active]
+    breakdown = TimeBreakdown(compute=critical)
+    return IterationRecord(
+        iteration=iteration,
+        frontier_size=10,
+        frontier_edges=100,
+        active_workers=list(active),
+        busy_seconds=busy,
+        stall_seconds=stall,
+        wall_seconds=wall if wall is not None else breakdown.total,
+        breakdown=breakdown,
+    )
+
+
+def test_breakdown_total_and_add():
+    a = TimeBreakdown(compute=1.0, sync=0.5)
+    b = TimeBreakdown(communication=2.0, overhead=0.25)
+    a.add(b)
+    assert a.total == pytest.approx(3.75)
+    assert a.as_dict()["total"] == pytest.approx(3.75)
+    assert a.scaled_ms()["compute"] == pytest.approx(1000.0)
+
+
+def test_run_result_matrices():
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=2,
+        values=np.zeros(3),
+    )
+    result.iterations.append(make_record(0, [1.0, 3.0], [0, 1]))
+    result.iterations.append(make_record(1, [2.0, 2.0], [0, 1]))
+    busy = result.busy_matrix()
+    stall = result.stall_matrix()
+    assert busy.shape == (2, 2)
+    assert busy[0].tolist() == [1.0, 3.0]
+    assert stall[0].tolist() == [2.0, 0.0]
+    assert result.num_iterations == 2
+
+
+def test_empty_run_result():
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=4,
+        values=np.zeros(1),
+    )
+    assert result.busy_matrix().shape == (0, 4)
+    assert result.stall_fraction() == 0.0
+    assert result.total_seconds == 0.0
+
+
+def test_stall_fraction():
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=2,
+        values=np.zeros(1),
+    )
+    # one worker busy 1s, the other stalls 1s -> 50% of worker time
+    result.iterations.append(make_record(0, [0.0, 1.0], [0, 1]))
+    assert result.stall_fraction() == pytest.approx(0.5)
+
+
+def test_stall_fraction_ignores_evicted_workers():
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=3,
+        values=np.zeros(1),
+    )
+    # worker 2 is out of the group: contributes nothing
+    record = make_record(0, [1.0, 1.0, 0.0], [0, 1])
+    result.iterations.append(record)
+    assert result.stall_fraction() == 0.0
+
+
+def test_group_size_series():
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=2,
+        values=np.zeros(1),
+    )
+    result.iterations.append(make_record(0, [1.0, 1.0], [0, 1]))
+    result.iterations.append(make_record(1, [1.0, 0.0], [0]))
+    assert result.group_size_series() == [2, 1]
+
+
+def test_total_ms(tiny_graph):
+    result = RunResult(
+        engine="e", algorithm="a", graph_name="g", num_gpus=1,
+        values=np.zeros(1),
+        breakdown=TimeBreakdown(compute=0.5),
+    )
+    assert result.total_ms == pytest.approx(500.0)
+    assert "500.00 ms" in repr(result)

@@ -1,0 +1,85 @@
+"""Unit tests for trace export and timeline rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hardware import dgx1
+from repro.runtime import BSPEngine
+from repro.runtime.trace import (
+    load_trace,
+    render_timeline,
+    save_trace,
+    trace_records,
+    utilization_report,
+)
+
+
+@pytest.fixture(scope="module")
+def result(skewed_graph, skewed_partition, source):
+    # session fixtures are visible from module fixtures via pytest
+    return BSPEngine(dgx1(8)).run(
+        skewed_graph, skewed_partition, "bfs", source=source
+    )
+
+
+def test_trace_records_shape(result):
+    records = trace_records(result)
+    assert len(records) == result.num_iterations
+    first = records[0]
+    assert first["iteration"] == 0
+    assert len(first["busy_ms"]) == 8
+    assert first["wall_ms"] == pytest.approx(
+        result.iterations[0].wall_seconds * 1e3
+    )
+    json.dumps(records)  # JSON-serializable
+
+
+def test_trace_roundtrip(tmp_path, result):
+    path = tmp_path / "run.jsonl"
+    save_trace(result, path)
+    header, records = load_trace(path)
+    assert header["engine"] == result.engine
+    assert header["total_ms"] == pytest.approx(result.total_ms)
+    assert len(records) == result.num_iterations
+    assert records[-1]["iteration"] == result.num_iterations - 1
+
+
+def test_load_empty_trace_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_trace(path)
+
+
+def test_render_timeline(result):
+    text = render_timeline(result, max_iterations=5, width=20)
+    assert "busy" in text
+    assert "gpu0" in text and "gpu7" in text
+    assert "#" in text
+    # bar width respected
+    for line in text.splitlines():
+        if line.strip().startswith("gpu"):
+            bar = line.split(None, 1)[-1] if " " in line.strip() else ""
+            assert len(bar.replace(" ", "")) <= 21
+
+
+def test_render_timeline_empty():
+    from repro.runtime import RunResult
+
+    empty = RunResult(engine="e", algorithm="a", graph_name="g",
+                      num_gpus=2, values=np.zeros(1))
+    assert render_timeline(empty) == "(empty run)"
+
+
+def test_utilization_report(result):
+    report = utilization_report(result)
+    assert len(report["per_gpu_busy_ms"]) == 8
+    assert len(report["per_gpu_utilization"]) == 8
+    assert all(0.0 <= u <= 1.0 for u in report["per_gpu_utilization"])
+    assert report["iterations"] == result.num_iterations
+    assert report["overall_stall_fraction"] == pytest.approx(
+        result.stall_fraction()
+    )
+    json.dumps(report)

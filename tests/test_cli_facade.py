@@ -1,0 +1,142 @@
+"""Unit tests for the CLI and the one-call facade."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main, result_summary
+from repro.errors import EngineError
+
+
+# ----------------------------------------------------------------------
+# Facade
+# ----------------------------------------------------------------------
+def test_facade_defaults(skewed_graph, source, oracle_config):
+    result = repro.run(
+        skewed_graph, "bfs", source=source, gum_config=oracle_config
+    )
+    assert result.engine == "gum"
+    assert result.num_gpus == 8
+    assert result.converged
+
+
+def test_facade_symmetrizes_for_wcc(skewed_graph, oracle_config):
+    result = repro.run(skewed_graph, "wcc", num_gpus=4,
+                       gum_config=oracle_config)
+    assert result.algorithm == "wcc"
+    # component labels must be canonical (min id per component)
+    assert result.values.min() == 0.0
+
+
+@pytest.mark.parametrize("engine", ["gunrock", "groute", "bsp"])
+def test_facade_engines(engine, skewed_graph, source):
+    result = repro.run(skewed_graph, "bfs", engine=engine,
+                       num_gpus=4, source=source)
+    assert result.converged
+
+
+def test_facade_partitioner_and_errors(skewed_graph, source,
+                                       oracle_config):
+    result = repro.run(
+        skewed_graph, "bfs", partitioner="seg", num_gpus=2,
+        source=source, gum_config=oracle_config,
+    )
+    assert result.converged
+    with pytest.raises(EngineError, match="unknown engine"):
+        repro.run(skewed_graph, "bfs", engine="spark", source=source)
+
+
+def test_facade_engines_agree(skewed_graph, source, oracle_config):
+    gum = repro.run(skewed_graph, "bfs", num_gpus=4, source=source,
+                    gum_config=oracle_config)
+    gunrock = repro.run(skewed_graph, "bfs", engine="gunrock",
+                        num_gpus=4, source=source)
+    assert np.allclose(gum.values, gunrock.values)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_datasets(capsys):
+    assert main(["datasets", "--domain", "RN"]) == 0
+    out = capsys.readouterr().out
+    assert "TX" in out and "EU" in out
+    assert "LJ" not in out
+
+
+def test_cli_topology(capsys):
+    assert main(["topology", "--gpus", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "NVLink lanes" in out
+    assert "ring" in out
+
+
+def test_cli_run_text(capsys):
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gunrock", "--gpus", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "virtual time" in out
+    assert "gunrock/bfs on TX" in out
+
+
+def test_cli_run_json(capsys):
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gum", "--gpus", "4",
+        "--cost-model", "oracle", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"] == "gum"
+    assert payload["converged"] is True
+    assert payload["total_ms"] > 0
+    assert set(payload["breakdown_ms"]) >= {"compute", "sync", "total"}
+
+
+def test_cli_run_feature_switches(capsys):
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "sssp",
+        "--gpus", "4", "--cost-model", "oracle",
+        "--no-fsteal", "--no-osteal", "--no-hub-cache", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stolen_edges"] == 0
+    assert payload["min_group_size"] == 4
+
+
+def test_cli_compare(capsys):
+    code = main([
+        "compare", "--graph", "TX", "--algorithm", "bfs",
+        "--gpus", "4", "--cost-model", "oracle",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for engine in ("gum", "gunrock", "groute"):
+        assert engine in out
+    assert "best" in out
+
+
+def test_cli_rejects_unknown_graph():
+    with pytest.raises(SystemExit):
+        main(["run", "--graph", "NOPE", "--algorithm", "bfs"])
+
+
+def test_result_summary_fields(skewed_graph, source, oracle_config):
+    result = repro.run(skewed_graph, "bfs", num_gpus=4, source=source,
+                       gum_config=oracle_config)
+    summary = result_summary(result)
+    assert summary["num_gpus"] == 4
+    assert 0 <= summary["stall_fraction"] <= 1
+    json.dumps(summary)  # must be JSON-serializable
+
+
+def test_parser_version():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--version"])

@@ -1,0 +1,36 @@
+"""Unit tests for the configuration module."""
+
+import pytest
+
+from repro import config
+
+
+def test_constants_consistent():
+    assert config.BYTES_PER_EDGE == 16 * config.EDGE_SCALE
+    assert config.BYTES_PER_MESSAGE == 12 * config.EDGE_SCALE
+    assert config.BYTES_PER_VERTEX == 16 * config.EDGE_SCALE
+    assert config.EDGE_SCALE >= 1
+
+
+def test_benchmark_scale_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert config.benchmark_scale() == 1.0
+
+
+def test_benchmark_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    assert config.benchmark_scale() == 2.5
+
+
+@pytest.mark.parametrize("bad", ["zero", "-1", "0", ""])
+def test_benchmark_scale_invalid_falls_back(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_SCALE", bad)
+    assert config.benchmark_scale() == 1.0
+
+
+def test_scaled(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.0")
+    assert config.scaled(100) == 200
+    monkeypatch.setenv("REPRO_SCALE", "0.001")
+    assert config.scaled(100) == 16  # clamped at the minimum
+    assert config.scaled(100, minimum=5) == 5

@@ -1,0 +1,132 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate inputs the engines must survive: empty graphs, singleton
+graphs, all-isolated vertices, frontiers dying immediately, empty
+fragments everywhere, and weight extremes.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms import make_algorithm
+from repro.core import GumConfig, GumEngine
+from repro.graph import from_edge_arrays, from_edges, star
+from repro.hardware import dgx1, single_gpu
+from repro.partition import Partition, random_partition
+from repro.runtime import BSPEngine
+
+
+def empty_graph(num_vertices=0):
+    return from_edge_arrays(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        num_vertices=num_vertices, name="empty",
+    )
+
+
+ORACLE = GumConfig(cost_model="oracle")
+
+
+def test_singleton_graph_bfs():
+    graph = empty_graph(1)
+    partition = random_partition(graph, 1, seed=0)
+    result = BSPEngine(single_gpu()).run(graph, partition, "bfs",
+                                         source=0)
+    assert result.converged
+    assert result.values.tolist() == [0.0]
+
+
+def test_isolated_vertices_graph():
+    graph = empty_graph(16)
+    partition = random_partition(graph, 4, seed=0)
+    result = GumEngine(dgx1(4), ORACLE).run(graph, partition, "bfs",
+                                            source=3)
+    assert result.converged
+    assert np.isinf(result.values).sum() == 15
+    # exactly one superstep: the frontier dies immediately
+    assert result.num_iterations == 1
+
+
+def test_wcc_on_edgeless_graph():
+    graph = empty_graph(8)
+    partition = random_partition(graph, 4, seed=0)
+    result = BSPEngine(dgx1(4)).run(graph, partition, "wcc")
+    assert np.array_equal(result.values, np.arange(8, dtype=np.float64))
+
+
+def test_pr_on_edgeless_graph():
+    graph = empty_graph(5)
+    partition = random_partition(graph, 1, seed=0)
+    result = BSPEngine(single_gpu()).run(graph, partition, "pr",
+                                         max_rounds=3)
+    # all-dangling: mass redistributes uniformly and converges
+    assert result.values == pytest.approx([0.2] * 5)
+
+
+def test_source_in_empty_fragment():
+    """The source's fragment can be otherwise empty; others may have
+    all the edges."""
+    graph = star(32)
+    owner = np.zeros(33, dtype=np.int64)
+    owner[0] = 3  # the hub lives alone on fragment 3
+    partition = Partition(graph, owner, 4)
+    result = GumEngine(dgx1(4), ORACLE).run(graph, partition, "bfs",
+                                            source=0)
+    assert result.converged
+    assert np.all(result.values[1:] == 1.0)
+
+
+def test_gum_single_gpu_never_steals(skewed_weighted, source):
+    partition = random_partition(skewed_weighted, 1, seed=0)
+    result = GumEngine(single_gpu(), ORACLE).run(
+        skewed_weighted, partition, "sssp", source=source
+    )
+    assert result.converged
+    assert all(r.stolen_edges == 0 for r in result.iterations)
+    assert all(r.num_active == 1 for r in result.iterations)
+
+
+def test_zero_weight_edges():
+    graph = from_edges([(0, 1, 0.0), (1, 2, 0.0), (2, 3, 1.0)])
+    partition = random_partition(graph, 2, seed=0)
+    result = BSPEngine(dgx1(2)).run(graph, partition, "sssp", source=0)
+    assert result.values.tolist() == [0.0, 0.0, 0.0, 1.0]
+
+
+def test_huge_weight_spread():
+    graph = from_edges([(0, 1, 1e12), (0, 2, 1.0), (2, 1, 1.0)])
+    partition = random_partition(graph, 2, seed=0)
+    result = BSPEngine(dgx1(2)).run(graph, partition, "sssp", source=0)
+    assert result.values[1] == 2.0  # the long way wins
+
+
+def test_self_loop_tolerated():
+    graph = from_edges([(0, 0), (0, 1)])
+    partition = random_partition(graph, 2, seed=0)
+    result = BSPEngine(dgx1(2)).run(graph, partition, "bfs", source=0)
+    assert result.values.tolist() == [0.0, 1.0]
+
+
+def test_run_facade_on_tiny_inputs():
+    result = repro.run(star(3), "wcc", num_gpus=2, gum_config=ORACLE)
+    assert np.all(result.values == 0.0)  # single component labelled 0
+
+
+def test_algorithms_handle_empty_frontier_step(tiny_graph):
+    """Calling step with an empty frontier is a no-op, not a crash."""
+    for name in ("bfs", "sssp", "wcc"):
+        algorithm = make_algorithm(name)
+        state = algorithm.init(
+            tiny_graph, **({"source": 0} if name != "wcc" else {})
+        )
+        state.frontier = type(state.frontier).empty()
+        follow_up = algorithm.step(tiny_graph, state)
+        assert not follow_up
+
+
+def test_max_iterations_zero_like_budget(road_graph):
+    partition = random_partition(road_graph, 4, seed=0)
+    result = BSPEngine(dgx1(4)).run(road_graph, partition, "bfs",
+                                    source=0, max_iterations=1)
+    assert not result.converged
+    assert result.num_iterations == 1
