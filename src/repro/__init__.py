@@ -90,6 +90,16 @@ from repro.core import (
     pretrained_default,
 )
 from repro.baselines import GrouteEngine, GunrockEngine
+from repro.obs import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Tracer,
+    write_chrome_trace,
+)
 from repro.facade import run
 
 __version__ = "1.0.0"
@@ -152,6 +162,15 @@ __all__ = [
     # baselines
     "GunrockEngine",
     "GrouteEngine",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "InMemorySink",
+    "JsonlSink",
+    "ChromeTraceSink",
+    "write_chrome_trace",
+    "NULL_TRACER",
+    "NULL_METRICS",
     "run",
     "__version__",
 ]

@@ -45,6 +45,9 @@ from repro.graph.gather import gather_edges
 from repro.hardware.spec import MachineSpec
 from repro.hardware.timing import TimingModel
 from repro.hardware.topology import Topology
+from repro.obs.export import emit_iteration
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import Partition
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord, RunResult, TimeBreakdown
@@ -72,6 +75,9 @@ class GrouteEngine:
         weighted graphs.
     max_rounds:
         Safety bound on rounds.
+    tracer / metrics:
+        Observability hooks (:mod:`repro.obs`); both default to the
+        zero-overhead null implementations.
     """
 
     def __init__(
@@ -82,6 +88,8 @@ class GrouteEngine:
         pr_extra_work: float = 2.0,
         local_substeps: int = 4,
         max_rounds: int = 10_000,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._topology = topology
         self._timing = TimingModel(topology, machine=machine)
@@ -90,6 +98,8 @@ class GrouteEngine:
         self._local_substeps = int(local_substeps)
         self._max_rounds = int(max_rounds)
         self._ring, self._ring_bandwidth = self._build_ring(topology)
+        self._tracer = tracer or NULL_TRACER
+        self._metrics = metrics or NULL_METRICS
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +116,16 @@ class GrouteEngine:
     def timing(self) -> TimingModel:
         """The engine's ground-truth timing model."""
         return self._timing
+
+    @property
+    def tracer(self) -> Tracer:
+        """The attached tracer (null when disabled)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The attached metrics registry (null when disabled)."""
+        return self._metrics
 
     @staticmethod
     def _build_ring(topology: Topology) -> tuple[List[int], np.ndarray]:
@@ -227,6 +247,13 @@ class GrouteEngine:
             values=state.values,
         )
         rounds = 0
+        virtual_clock = 0.0
+        run_span = self._tracer.span(
+            "run", cat="engine", engine="groute",
+            algorithm=algorithm.name, graph=graph.name,
+            num_gpus=num_workers,
+        )
+        run_span.__enter__()
         while state.frontier and rounds < limit:
             round_frontier: Frontier = state.frontier
             busy = np.zeros(num_workers)
@@ -307,8 +334,14 @@ class GrouteEngine:
             )
             result.iterations.append(record)
             result.breakdown.add(breakdown)
+            virtual_clock = emit_iteration(
+                self._tracer, self._metrics, record, virtual_clock,
+                None, engine="groute",
+            )
             state.frontier = next_frontier
             rounds += 1
+        run_span.set(iterations=rounds, virtual_total_ms=virtual_clock * 1e3)
+        run_span.__exit__(None, None, None)
         result.values = state.values
         result.converged = not state.frontier
         return result
@@ -357,6 +390,13 @@ class GrouteEngine:
             num_gpus=num_workers,
             values=state.values,
         )
+        virtual_clock = 0.0
+        run_span = self._tracer.span(
+            "run", cat="engine", engine="groute",
+            algorithm=algorithm.name, graph=graph.name,
+            num_gpus=num_workers,
+        )
+        run_span.__enter__()
         while state.frontier and state.iteration < limit:
             frontier = state.frontier
             per_fragment = frontier.split_by_owner(
@@ -413,8 +453,16 @@ class GrouteEngine:
             )
             result.iterations.append(record)
             result.breakdown.add(breakdown)
+            virtual_clock = emit_iteration(
+                self._tracer, self._metrics, record, virtual_clock,
+                None, engine="groute",
+            )
             state.frontier = algorithm.step(graph, state)
             state.iteration += 1
+        run_span.set(
+            iterations=state.iteration, virtual_total_ms=virtual_clock * 1e3
+        )
+        run_span.__exit__(None, None, None)
         result.values = state.values
         result.converged = not state.frontier
         return result

@@ -38,6 +38,8 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.hardware.spec import MachineSpec
 from repro.hardware.topology import Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.partition.base import Partition
 from repro.runtime.bsp import BSPEngine, EngineOptions
 from repro.runtime.scheduler import StaticScheduler
@@ -73,6 +75,8 @@ class GunrockEngine(BSPEngine):
         near_far_sssp: bool = True,
         near_far_work_factor: float = 0.65,
         near_far_sync_factor: float = 2.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             topology,
@@ -80,6 +84,8 @@ class GunrockEngine(BSPEngine):
             machine=machine,
             options=options,
             name="gunrock",
+            tracer=tracer,
+            metrics=metrics,
         )
         self._near_far = bool(near_far_sssp)
         self._nf_work = float(near_far_work_factor)

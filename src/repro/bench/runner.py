@@ -10,6 +10,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.core import GumConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.runtime import EngineOptions, RunResult
 from repro.bench.workloads import (
     algorithm_params,
@@ -44,6 +46,8 @@ def run_cell(
     gum_config: Optional[GumConfig] = None,
     options: Optional[EngineOptions] = None,
     max_iterations: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Execute one benchmark cell and return its result."""
     graph = prepare_graph(cell.graph, cell.algorithm)
@@ -51,7 +55,8 @@ def run_cell(
         graph, cell.num_gpus, partitioner=cell.partitioner
     )
     engine = make_engine(
-        cell.engine, cell.num_gpus, gum_config=gum_config, options=options
+        cell.engine, cell.num_gpus, gum_config=gum_config, options=options,
+        tracer=tracer, metrics=metrics,
     )
     params = algorithm_params(cell.algorithm, cell.graph)
     return engine.run(

@@ -20,6 +20,8 @@ from repro.errors import EngineError
 from repro.graph import datasets, symmetrize, with_random_weights
 from repro.graph.csr import CSRGraph
 from repro.hardware import dgx1
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.partition import Partition, make_partition
 from repro.runtime import BSPEngine, EngineOptions
 
@@ -101,33 +103,38 @@ def make_engine(
     num_gpus: int = 8,
     gum_config: Optional[GumConfig] = None,
     options: Optional[EngineOptions] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ):
     """Engine factory for the benchmark matrix.
 
     Names: ``gum``, ``gunrock``, ``groute``, plus the ablation arms
     ``gum-nosteal`` (GUM plumbing, stealing off) and ``bsp`` (plain
-    static BSP engine without any Gunrock algorithm tricks).
+    static BSP engine without any Gunrock algorithm tricks). A tracer
+    and/or metrics registry attaches to any of them.
     """
     topology = dgx1(num_gpus)
+    obs = {"tracer": tracer, "metrics": metrics}
     if name == "gum":
-        return GumEngine(topology, config=gum_config, options=options)
+        return GumEngine(topology, config=gum_config, options=options,
+                         **obs)
     if name == "gum-nosteal":
         config = gum_config or GumConfig()
         config = GumConfig(
             fsteal=False, osteal=False, hub_cache=False,
             cost_model="uniform", solver=config.solver,
         )
-        return GumEngine(topology, config=config, options=options)
+        return GumEngine(topology, config=config, options=options, **obs)
     if name == "gunrock":
-        return GunrockEngine(topology, options=options)
+        return GunrockEngine(topology, options=options, **obs)
     if name == "groute":
-        return GrouteEngine(topology)
+        return GrouteEngine(topology, **obs)
     if name == "bsp":
-        return BSPEngine(topology, options=options, name="bsp")
+        return BSPEngine(topology, options=options, name="bsp", **obs)
     if name == "peeksteal":
         return BSPEngine(
             topology, scheduler=PeekStealScheduler(), options=options,
-            name="peeksteal",
+            name="peeksteal", **obs,
         )
     raise EngineError(
         f"unknown engine {name!r}; known: "

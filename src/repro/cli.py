@@ -8,6 +8,8 @@ Examples::
     python -m repro run --graph USA --algorithm sssp --engine gum \
         --gpus 4 --partitioner metis --no-osteal --json
     python -m repro compare --graph TX --algorithm sssp
+    python -m repro profile --graph LJ --algorithm bfs --engine gum \
+        --out run.trace.json
 """
 
 from __future__ import annotations
@@ -15,7 +17,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,18 +26,26 @@ from repro import __version__
 from repro.algorithms import ALGORITHMS
 from repro.bench import Cell, run_cell
 from repro.bench.workloads import ENGINE_NAMES
-from repro.core import GumConfig
+from repro.core import GumConfig, pretrained_default
 from repro.graph import datasets
 from repro.graph.properties import degree_summary, pseudo_diameter
 from repro.hardware import dgx1
+from repro.obs import (
+    ChromeTraceSink,
+    JsonlSink,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.partition.partitioners import PARTITIONERS
 from repro.runtime import RunResult
+from repro.runtime.trace import render_timeline, utilization_report
 
 __all__ = ["main", "build_parser", "result_summary"]
 
 
 def result_summary(result: RunResult) -> dict:
     """JSON-friendly summary of a run (used by ``--json``)."""
+    group_sizes = result.group_size_series()
     return {
         "engine": result.engine,
         "algorithm": result.algorithm,
@@ -49,10 +60,19 @@ def result_summary(result: RunResult) -> dict:
             sum(r.stolen_edges for r in result.iterations)
         ),
         "min_group_size": (
-            min(result.group_size_series())
-            if result.iterations else result.num_gpus
+            min(group_sizes) if result.iterations else result.num_gpus
         ),
         "real_decision_ms": result.real_decision_seconds * 1e3,
+        "fsteal_iterations": int(
+            sum(1 for r in result.iterations if r.fsteal_applied)
+        ),
+        "mean_group_size": (
+            float(np.mean(group_sizes))
+            if result.iterations else float(result.num_gpus)
+        ),
+        "per_gpu_utilization": utilization_report(
+            result
+        )["per_gpu_utilization"],
     }
 
 
@@ -100,18 +120,76 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one(args: argparse.Namespace, engine: str) -> RunResult:
+def _trace_meta(args: argparse.Namespace, engine: str) -> dict:
+    return {
+        "engine": engine,
+        "algorithm": args.algorithm,
+        "graph": args.graph,
+        "num_gpus": args.gpus,
+        "partitioner": args.partitioner,
+    }
+
+
+def _trace_path(path: str) -> str:
+    """Fail fast on an unwritable trace path.
+
+    ``ChromeTraceSink`` buffers and only writes on close; without this
+    check a missing parent directory would crash *after* the whole run
+    and lose it.
+    """
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _make_observers(
+    args: argparse.Namespace,
+    engine: str,
+    trace_path: Optional[str],
+) -> Tuple[Optional[Tracer], Optional[MetricsRegistry]]:
+    """Observers requested by ``--trace``/``--metrics`` (else None).
+
+    A ``.jsonl`` trace path streams raw span records; any other suffix
+    writes Chrome ``trace_event`` JSON for Perfetto / chrome://tracing.
+    """
+    tracer = None
+    if trace_path:
+        meta = _trace_meta(args, engine)
+        trace_path = _trace_path(trace_path)
+        sink = (
+            JsonlSink(trace_path, meta=meta)
+            if trace_path.endswith(".jsonl")
+            else ChromeTraceSink(trace_path, meta=meta)
+        )
+        tracer = Tracer(sinks=[sink], meta=meta)
+    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    return tracer, metrics
+
+
+def _run_one(
+    args: argparse.Namespace,
+    engine: str,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> RunResult:
     return run_cell(
         Cell(engine, args.algorithm, args.graph, args.gpus,
              args.partitioner),
         gum_config=_gum_config_from_args(args),
+        tracer=tracer,
+        metrics=metrics,
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = _run_one(args, args.engine)
+    tracer, metrics = _make_observers(args, args.engine, args.trace)
+    result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
+    if tracer is not None:
+        tracer.close()
     if args.json:
-        print(json.dumps(result_summary(result), indent=2))
+        payload = result_summary(result)
+        if metrics is not None:
+            payload["metrics"] = metrics.snapshot()
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{result.engine}/{result.algorithm} on {result.graph_name} "
           f"({result.num_gpus} GPUs, {args.partitioner} partition):")
@@ -121,26 +199,94 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  stall        : {result.stall_fraction():10.1%}")
     for bucket, ms in result.breakdown.scaled_ms().items():
         print(f"  {bucket:13s}: {ms:10.2f} ms")
+    if args.trace:
+        print(f"  trace        : {args.trace}")
+    if metrics is not None:
+        print("metrics:")
+        print(json.dumps(metrics.snapshot(), indent=2))
     return 0
+
+
+def _engine_trace_path(base: str, engine: str) -> str:
+    """Per-engine trace file for ``compare`` (one run, one file)."""
+    path = Path(base)
+    return str(path.with_name(f"{path.stem}.{engine}{path.suffix}"))
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
+    snapshots = {}
     for engine in ENGINE_NAMES:
-        result = _run_one(args, engine)
+        trace_path = (
+            _engine_trace_path(args.trace, engine) if args.trace else None
+        )
+        tracer, metrics = _make_observers(args, engine, trace_path)
+        result = _run_one(args, engine, tracer=tracer, metrics=metrics)
+        if tracer is not None:
+            tracer.close()
+        if metrics is not None:
+            snapshots[engine] = metrics.snapshot()
         rows.append((engine, result))
     best = min(rows, key=lambda row: row[1].total_seconds)[0]
     if args.json:
-        print(json.dumps(
-            {engine: result_summary(result) for engine, result in rows},
-            indent=2,
-        ))
+        payload = {
+            engine: result_summary(result) for engine, result in rows
+        }
+        for engine, snapshot in snapshots.items():
+            payload[engine]["metrics"] = snapshot
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"{args.algorithm} on {args.graph} ({args.gpus} GPUs):")
     for engine, result in rows:
         marker = "  <-- best" if engine == best else ""
         print(f"  {engine:8s}: {result.total_ms:10.2f} ms "
               f"({result.num_iterations} iters){marker}")
+    if args.trace:
+        for engine, _ in rows:
+            print(f"  trace: {_engine_trace_path(args.trace, engine)}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """One instrumented run -> Chrome trace + metrics snapshot."""
+    meta = _trace_meta(args, args.engine)
+    tracer = Tracer(sinks=[ChromeTraceSink(_trace_path(args.out),
+                                           meta=meta)],
+                    meta=meta)
+    if args.jsonl:
+        tracer.add_sink(JsonlSink(_trace_path(args.jsonl), meta=meta))
+    metrics = MetricsRegistry()
+    if args.cost_model == "default":
+        # warm the cached model inside the trace so a cold run shows
+        # its dominant host cost (corpus replay + SGD fit) as spans
+        pretrained_default(tracer=tracer)
+    result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
+    tracer.close()
+    summary = result_summary(result)
+    summary["metrics"] = metrics.snapshot()
+    summary["trace"] = args.out
+    if args.jsonl:
+        summary["trace_jsonl"] = args.jsonl
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{result.engine}/{result.algorithm} on "
+              f"{result.graph_name} ({result.num_gpus} GPUs): "
+              f"{result.total_ms:.2f} ms virtual, "
+              f"{result.num_iterations} iterations")
+        print(f"  fsteal iterations : {summary['fsteal_iterations']}")
+        print(f"  mean group size   : {summary['mean_group_size']:.2f}")
+        print(f"  stolen edges      : {summary['stolen_edges']}")
+        util = ", ".join(
+            f"{u:.0%}" for u in summary["per_gpu_utilization"]
+        )
+        print(f"  per-GPU utilization: {util}")
+        print(f"  chrome trace      : {args.out}  "
+              "(open in Perfetto / chrome://tracing)")
+        if args.jsonl:
+            print(f"  span log          : {args.jsonl}")
+    if args.timeline:
+        print(render_timeline(result))
     return 0
 
 
@@ -196,8 +342,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit a JSON summary")
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        """Attach the shared observability arguments."""
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="record the run: *.jsonl for raw span records, "
+                 "anything else for Chrome trace_event JSON",
+        )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect and print the run's metrics snapshot",
+        )
+
     p_run = sub.add_parser("run", help="run one engine on one workload")
     add_run_args(p_run)
+    add_obs_args(p_run)
     p_run.add_argument("--engine", default="gum",
                        choices=ENGINE_NAMES + ("gum-nosteal", "bsp"))
     p_run.set_defaults(func=_cmd_run)
@@ -206,7 +365,30 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run all three engines on one workload"
     )
     add_run_args(p_compare)
+    add_obs_args(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one workload fully instrumented and export a "
+             "Perfetto-loadable Chrome trace",
+    )
+    add_run_args(p_profile)
+    p_profile.add_argument("--engine", default="gum",
+                           choices=ENGINE_NAMES + ("gum-nosteal", "bsp"))
+    p_profile.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="Chrome trace_event JSON output file",
+    )
+    p_profile.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also stream raw span records as JSON lines",
+    )
+    p_profile.add_argument(
+        "--timeline", action="store_true",
+        help="also print the ASCII per-GPU timeline",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -18,6 +18,7 @@ from repro.core.costmodel import (
     KernelRidgeModel,
     LinearSGDModel,
     MODEL_FAMILIES,
+    OnlineRMSRE,
     OracleCostModel,
     PolynomialSGDModel,
     UniformCostModel,
@@ -58,6 +59,7 @@ __all__ = [
     "MODEL_FAMILIES",
     "FitReport",
     "rmsre",
+    "OnlineRMSRE",
     "collect_training_data",
     "default_training_corpus",
     "pretrained_default",

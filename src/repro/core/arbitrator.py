@@ -28,6 +28,7 @@ import numpy as np
 from repro import config as repro_config
 from repro.core.costmodel import (
     CostModel,
+    OnlineRMSRE,
     OracleCostModel,
     UniformCostModel,
     pretrained_default,
@@ -145,6 +146,7 @@ class _RunState:
     last_osteal_iteration: int = -(10**9)
     workload_at_decision: int = 0
     osteal_backoff: int = 0
+    online_rmsre: OnlineRMSRE = field(default_factory=OnlineRMSRE)
 
 
 class GumScheduler(Scheduler):
@@ -173,7 +175,8 @@ class GumScheduler(Scheduler):
             seed=self._config.bandwidth_seed,
         )
         hub_cache = (
-            HubCache(context.graph, self._config.t4_hub_in_degree)
+            HubCache(context.graph, self._config.t4_hub_in_degree,
+                     metrics=context.metrics)
             if self._config.hub_cache
             else None
         )
@@ -201,6 +204,7 @@ class GumScheduler(Scheduler):
         state = self._state
         if state is None:
             raise EngineError("scheduler used before begin_run")
+        tracer, metrics = context.tracer, context.metrics
         started = time.perf_counter()
         modeled_overhead = 0.0
         num_workers = context.num_workers
@@ -212,6 +216,9 @@ class GumScheduler(Scheduler):
         total_frontier = int(sum(f.size for f in features))
         modeled_overhead += 2.5e-8 * total_frontier
 
+        if metrics.enabled:
+            self._observe_cost_model(context, features, workloads)
+
         fsteal_solution = None
 
         # --- Step 2: ownership stealing -------------------------------
@@ -219,16 +226,37 @@ class GumScheduler(Scheduler):
         if self._config.osteal and self._osteal_triggered(
             iteration, state, total_workload
         ):
-            decision = plan_osteal(
-                state.tree,
-                state.comm_cost,
-                features,
-                workloads,
-                context.fragment_home,
-                self._cost_model,
-                self._solver,
-                state.p_estimate,
-            )
+            with tracer.span(
+                "gum.osteal", track="coordinator", cat="osteal",
+                iteration=iteration, workload=total_workload,
+            ) as osteal_span:
+                solve_started = time.perf_counter()
+                decision = plan_osteal(
+                    state.tree,
+                    state.comm_cost,
+                    features,
+                    workloads,
+                    context.fragment_home,
+                    self._cost_model,
+                    self._solver,
+                    state.p_estimate,
+                    tracer=tracer,
+                )
+                osteal_span.set(
+                    group_size=decision.group_size,
+                    prev_group_size=state.group_size,
+                    estimated_cost=decision.estimated_cost,
+                    estimated_kernel=decision.estimated_kernel,
+                    p_estimate=state.p_estimate,
+                )
+            if metrics.enabled:
+                metrics.counter("osteal.evaluations").inc()
+                metrics.histogram(
+                    "osteal.solve_seconds",
+                    "host wall time of Algorithm 2 enumerations",
+                ).observe(time.perf_counter() - solve_started)
+                if decision.group_size != state.group_size:
+                    metrics.counter("osteal.group_changes").inc()
             modeled_overhead += self._modeled_osteal_seconds(num_workers)
             state.last_osteal_iteration = iteration
             state.workload_at_decision = total_workload
@@ -254,16 +282,29 @@ class GumScheduler(Scheduler):
         ):
             costs_used = None
             if fsteal_solution is None:
-                costs_used = build_cost_matrix(
-                    state.comm_cost,
-                    features,
-                    self._cost_model,
-                    context.fragment_home,
-                    allowed_workers=state.active,
-                )
-                fsteal_solution = self._solver.solve(
-                    FStealProblem(costs_used, workloads)
-                )
+                with tracer.span(
+                    "gum.fsteal.milp", track="coordinator", cat="fsteal",
+                    iteration=iteration,
+                    solver=getattr(self._solver, "name",
+                                   type(self._solver).__name__),
+                ) as fsteal_span:
+                    solve_started = time.perf_counter()
+                    costs_used = build_cost_matrix(
+                        state.comm_cost,
+                        features,
+                        self._cost_model,
+                        context.fragment_home,
+                        allowed_workers=state.active,
+                    )
+                    fsteal_solution = self._solver.solve(
+                        FStealProblem(costs_used, workloads)
+                    )
+                    fsteal_span.set(objective=fsteal_solution.objective)
+                if metrics.enabled:
+                    metrics.histogram(
+                        "fsteal.solve_seconds",
+                        "host wall time of the FSteal MILP",
+                    ).observe(time.perf_counter() - solve_started)
             fsteal_overhead = self._modeled_fsteal_seconds(
                 num_workers, total_frontier
             )
@@ -275,7 +316,15 @@ class GumScheduler(Scheduler):
                 static = self._static_makespan(
                     costs_used, workloads, context.fragment_worker
                 )
-                if static - fsteal_solution.objective <= fsteal_overhead:
+                gain = static - fsteal_solution.objective
+                if metrics.enabled:
+                    metrics.histogram(
+                        "fsteal.makespan_gain_seconds",
+                        "predicted static-minus-stolen makespan gap",
+                    ).observe(gain)
+                if gain <= fsteal_overhead:
+                    if metrics.enabled:
+                        metrics.counter("fsteal.rejected_by_gate").inc()
                     fsteal_solution = None
             if fsteal_solution is not None:
                 fsteal_applied = True
@@ -313,6 +362,36 @@ class GumScheduler(Scheduler):
             stolen_edges=stolen_edges,
             migrated_vertices=migrated,
         )
+
+    # ------------------------------------------------------------------
+    def _observe_cost_model(
+        self,
+        context: RunContext,
+        features: Sequence,
+        workloads: np.ndarray,
+    ) -> None:
+        """Score the learned ``g`` against ground truth, online.
+
+        One sample per fragment with active edges, exactly the
+        granularity the FSteal coefficients use — the running RMSRE is
+        the deployment-time counterpart of Table V's training loss.
+        Only runs when a metrics registry is attached.
+        """
+        state = self._state
+        metrics = context.metrics
+        device = context.timing.device_model
+        for fragment, feats in enumerate(features):
+            if workloads[fragment] == 0 or feats.total_edges == 0:
+                continue
+            predicted = self._cost_model.edge_cost_seconds(feats)
+            actual = device.true_edge_cost(feats)
+            state.online_rmsre.update(predicted, actual)
+        if state.online_rmsre.count:
+            metrics.gauge(
+                "costmodel.rmsre_online",
+                "running RMSRE of the learned g vs ground truth",
+            ).set(state.online_rmsre.value)
+            metrics.gauge("costmodel.samples").set(state.online_rmsre.count)
 
     # ------------------------------------------------------------------
     def observe(self, record: IterationRecord, context: RunContext) -> None:
@@ -383,6 +462,21 @@ class GumScheduler(Scheduler):
         """Turn the decision into engine chunks; count stolen work."""
         graph = context.graph
         state = self._state
+        metrics = context.metrics
+        steal_pairs = remote_edges = hub_hits = None
+        if metrics.enabled:
+            steal_pairs = metrics.counter(
+                "steal.edges_by_pair",
+                "edges stolen, labelled by (home GPU, executing GPU)",
+            )
+            remote_edges = metrics.counter(
+                "hubcache.remote_edges",
+                "stolen edges that would cross NVLink without caching",
+            )
+            hub_hits = metrics.counter(
+                "hubcache.hit_edges",
+                "stolen edges served from the local hub cache",
+            )
         chunks: List[WorkChunk] = []
         stolen_edges = 0
         migrated = 0
@@ -402,9 +496,15 @@ class GumScheduler(Scheduler):
                         hub_edges=hub,
                     )
                 )
-                if worker != int(context.fragment_home[fragment]):
+                home = int(context.fragment_home[fragment])
+                if worker != home:
                     stolen_edges += int(workloads[fragment])
                     migrated += frontier.size
+                    if steal_pairs is not None:
+                        steal_pairs.inc(int(workloads[fragment]),
+                                        home=home, worker=worker)
+                        remote_edges.inc(int(workloads[fragment]))
+                        hub_hits.inc(hub)
             return chunks, stolen_edges, migrated
 
         for fragment, frontier in enumerate(fragment_frontiers):
@@ -426,9 +526,15 @@ class GumScheduler(Scheduler):
                         hub_edges=hub,
                     )
                 )
-                if item.worker != int(context.fragment_home[item.owner]):
+                home = int(context.fragment_home[item.owner])
+                if item.worker != home:
                     stolen_edges += item.edges
                     migrated += item.vertices.size
+                    if steal_pairs is not None:
+                        steal_pairs.inc(item.edges, home=home,
+                                        worker=item.worker)
+                        remote_edges.inc(item.edges)
+                        hub_hits.inc(hub)
         return chunks, stolen_edges, migrated
 
     @staticmethod

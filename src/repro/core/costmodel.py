@@ -38,10 +38,12 @@ from repro.graph import generators
 from repro.graph.csr import CSRGraph
 from repro.graph.features import FrontierFeatures, frontier_features
 from repro.hardware.device import DeviceModel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.partitioners import random_partition
 
 __all__ = [
     "rmsre",
+    "OnlineRMSRE",
     "FitReport",
     "CostModel",
     "LinearSGDModel",
@@ -68,6 +70,39 @@ def rmsre(predicted: np.ndarray, actual: np.ndarray) -> float:
     if np.any(actual == 0):
         raise CostModelError("rmsre undefined for zero actuals")
     return float(np.sqrt(np.mean(((predicted - actual) / actual) ** 2)))
+
+
+class OnlineRMSRE:
+    """Streaming RMSRE over (predicted, actual) pairs.
+
+    The deployment-time counterpart of :func:`rmsre`: the arbitrator
+    feeds it one sample per fragment per iteration, so observability
+    can report how well the learned ``g`` tracks ground truth *during*
+    a run (Exp-7's accuracy/policy-quality link, live).
+    """
+
+    __slots__ = ("count", "_sum_sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum_sq = 0.0
+
+    def update(self, predicted: float, actual: float) -> None:
+        """Add one sample; silently skips non-positive actuals."""
+        if actual <= 0:
+            return
+        self.count += 1
+        self._sum_sq += ((predicted - actual) / actual) ** 2
+
+    @property
+    def value(self) -> float:
+        """Current RMSRE (0.0 before any sample)."""
+        if self.count == 0:
+            return 0.0
+        return float(np.sqrt(self._sum_sq / self.count))
+
+    def __repr__(self) -> str:
+        return f"OnlineRMSRE(value={self.value:.4f}, n={self.count})"
 
 
 @dataclass(frozen=True)
@@ -630,16 +665,29 @@ def default_training_corpus(seed: int = 7) -> List[CSRGraph]:
 _PRETRAINED: Optional[PolynomialSGDModel] = None
 
 
-def pretrained_default(force_retrain: bool = False) -> PolynomialSGDModel:
+def pretrained_default(
+    force_retrain: bool = False,
+    tracer: Tracer = NULL_TRACER,
+) -> PolynomialSGDModel:
     """The library's default learned ``g``: degree-4 polynomial, cached.
 
     Trains once per process on :func:`default_training_corpus`
-    (a couple of seconds); later calls reuse the cached model.
+    (a couple of seconds); later calls reuse the cached model. Pass a
+    tracer to span the corpus replay and the SGD fit — by far the
+    largest host-time cost of a cold first run.
     """
     global _PRETRAINED
     if _PRETRAINED is None or force_retrain:
-        features, costs = collect_training_data(default_training_corpus())
+        with tracer.span("costmodel.collect", cat="costmodel"):
+            features, costs = collect_training_data(
+                default_training_corpus()
+            )
         model = PolynomialSGDModel()
-        model.fit(features, costs)
+        with tracer.span("costmodel.fit", cat="costmodel",
+                         model=model.name,
+                         samples=int(costs.size)) as fit_span:
+            report = model.fit(features, costs)
+            fit_span.set(train_rmsre=report.train_rmsre,
+                         train_seconds=report.train_seconds)
         _PRETRAINED = model
     return _PRETRAINED

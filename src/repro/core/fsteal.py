@@ -26,6 +26,7 @@ from repro.core.milp import FStealProblem, FStealSolution, FStealSolver
 from repro.errors import SolverError
 from repro.graph.csr import CSRGraph
 from repro.graph.features import FrontierFeatures
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.frontier import Frontier
 
 __all__ = ["VertexAssignment", "build_cost_matrix", "select_vertices",
@@ -146,16 +147,27 @@ def plan_fsteal(
     fragment_frontiers: Sequence[Frontier],
     problem: FStealProblem,
     solver: FStealSolver,
+    tracer: Tracer = NULL_TRACER,
 ) -> tuple[FStealSolution, List[VertexAssignment]]:
     """Solve the FSteal MILP and realize it as vertex assignments."""
-    solution = solver.solve(problem)
+    with tracer.span(
+        "fsteal.milp", track="coordinator", cat="fsteal",
+        solver=getattr(solver, "name", type(solver).__name__),
+        fragments=len(fragment_frontiers),
+    ) as span:
+        solution = solver.solve(problem)
+        span.set(objective=solution.objective)
     assignments: List[VertexAssignment] = []
-    for fragment, frontier in enumerate(fragment_frontiers):
-        if not frontier:
-            continue
-        assignments.extend(
-            select_vertices(
-                graph, fragment, frontier, solution.assignment[fragment]
+    with tracer.span(
+        "fsteal.select_vertices", track="coordinator", cat="fsteal"
+    ) as span:
+        for fragment, frontier in enumerate(fragment_frontiers):
+            if not frontier:
+                continue
+            assignments.extend(
+                select_vertices(
+                    graph, fragment, frontier, solution.assignment[fragment]
+                )
             )
-        )
+        span.set(assignments=len(assignments))
     return solution, assignments

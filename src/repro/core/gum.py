@@ -23,6 +23,8 @@ from typing import Optional
 from repro.core.arbitrator import GumConfig, GumScheduler
 from repro.hardware.spec import MachineSpec
 from repro.hardware.topology import Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.runtime.bsp import BSPEngine, EngineOptions
 
 __all__ = ["GumEngine"]
@@ -45,6 +47,9 @@ class GumEngine(BSPEngine):
         (the "+opt" of Exp-5); pass
         ``EngineOptions(aggregate_messages=False)`` for the
         unoptimized baseline.
+    tracer / metrics:
+        Observability hooks (:mod:`repro.obs`); both default to the
+        zero-overhead null implementations.
     """
 
     def __init__(
@@ -53,6 +58,8 @@ class GumEngine(BSPEngine):
         config: Optional[GumConfig] = None,
         machine: Optional[MachineSpec] = None,
         options: Optional[EngineOptions] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._config = config or GumConfig()
         super().__init__(
@@ -61,6 +68,8 @@ class GumEngine(BSPEngine):
             machine=machine,
             options=options,
             name="gum",
+            tracer=tracer,
+            metrics=metrics,
         )
 
     @property

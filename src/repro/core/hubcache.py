@@ -13,10 +13,13 @@ the replicas cost) is exposed so callers can budget ``t4``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro import config
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
 
 __all__ = ["HubCache"]
 
@@ -30,15 +33,30 @@ class HubCache:
         The processed graph.
     in_degree_threshold:
         The paper's ``t4``: vertices with in-degree above it are hubs.
+    metrics:
+        Observability registry; lookups and served hub edges are
+        published so hit rates show up in profile snapshots.
     """
 
-    def __init__(self, graph: CSRGraph, in_degree_threshold: int) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        in_degree_threshold: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._threshold = int(in_degree_threshold)
         in_degrees = graph.in_degrees()
         self._bitmap = in_degrees > self._threshold
         self._bitmap.setflags(write=False)
         out_degrees = graph.out_degrees()
         self._cached_edges = int(out_degrees[self._bitmap].sum())
+        self._metrics = metrics or NULL_METRICS
+        self._metrics.gauge(
+            "hubcache.num_hubs", "vertices replicated on every GPU"
+        ).set(self.num_hubs)
+        self._metrics.gauge(
+            "hubcache.cached_edges", "adjacency entries replicated per GPU"
+        ).set(self._cached_edges)
 
     @property
     def threshold(self) -> int:
@@ -67,12 +85,21 @@ class HubCache:
     def hub_edges(self, graph: CSRGraph, vertices: np.ndarray) -> int:
         """Edges of ``vertices`` servable from the local cache."""
         vertices = np.asarray(vertices, dtype=np.int64)
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "hubcache.lookups", "hub-bitmap probes by the arbitrator"
+            ).inc()
         if vertices.size == 0:
             return 0
         hubs = vertices[self._bitmap[vertices]]
         if hubs.size == 0:
             return 0
-        return int(graph.out_degrees(hubs).sum())
+        served = int(graph.out_degrees(hubs).sum())
+        if self._metrics.enabled:
+            self._metrics.counter(
+                "hubcache.hit_vertices", "frontier vertices found cached"
+            ).inc(hubs.size)
+        return served
 
     def __repr__(self) -> str:
         return (

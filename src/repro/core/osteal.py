@@ -24,6 +24,7 @@ from repro.core.fsteal import build_cost_matrix
 from repro.core.milp import FStealProblem, FStealSolution, FStealSolver
 from repro.core.reduction_tree import ReductionTree
 from repro.graph.features import FrontierFeatures
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["OStealDecision", "plan_osteal"]
 
@@ -51,6 +52,7 @@ def plan_osteal(
     solver: FStealSolver,
     p_estimate: float,
     candidate_sizes: Optional[Sequence[int]] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> OStealDecision:
     """Algorithm 2: enumerate group sizes, return the cheapest policy.
 
@@ -75,6 +77,9 @@ def plan_osteal(
         (seconds), from observed previous iterations.
     candidate_sizes:
         Group sizes to consider; defaults to ``1..n``.
+    tracer:
+        Observability hook; each Equation-4 evaluation is recorded as
+        one ``osteal.enumerate`` span attribute (null by default).
     """
     num_workers = comm_cost.shape[0]
     sizes = (
@@ -83,26 +88,32 @@ def plan_osteal(
         else list(range(1, num_workers + 1))
     )
     best: Optional[OStealDecision] = None
-    for m in sizes:
-        active = tree.active_workers(m)
-        costs = build_cost_matrix(
-            comm_cost,
-            fragment_features,
-            cost_model,
-            fragment_home,
-            allowed_workers=active,
-        )
-        solution = solver.solve(FStealProblem(costs, workloads))
-        total = solution.objective + p_estimate * m
-        if best is None or total < best.estimated_cost:
-            best = OStealDecision(
-                group_size=m,
-                active_workers=active,
-                ownership=tree.ownership(m),
-                estimated_cost=total,
-                estimated_kernel=solution.objective,
-                fsteal=solution,
-                costs=costs,
+    estimates = {} if tracer.enabled else None
+    with tracer.span("osteal.enumerate", track="coordinator",
+                     cat="osteal", candidates=len(sizes)) as span:
+        for m in sizes:
+            active = tree.active_workers(m)
+            costs = build_cost_matrix(
+                comm_cost,
+                fragment_features,
+                cost_model,
+                fragment_home,
+                allowed_workers=active,
             )
-    assert best is not None  # sizes is never empty
+            solution = solver.solve(FStealProblem(costs, workloads))
+            total = solution.objective + p_estimate * m
+            if estimates is not None:
+                estimates[f"m={m}"] = total
+            if best is None or total < best.estimated_cost:
+                best = OStealDecision(
+                    group_size=m,
+                    active_workers=active,
+                    ownership=tree.ownership(m),
+                    estimated_cost=total,
+                    estimated_kernel=solution.objective,
+                    fsteal=solution,
+                    costs=costs,
+                )
+        assert best is not None  # sizes is never empty
+        span.set(chosen=best.group_size, estimates=estimates)
     return best

@@ -39,3 +39,11 @@ class ConvergenceError(EngineError):
 
 class CostModelError(ReproError):
     """Cost-model training or inference failed (e.g. empty training set)."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file is malformed, truncated, or not a trace at all.
+
+    Also a :class:`ValueError` so callers that predate the dedicated
+    type keep working.
+    """

@@ -24,6 +24,8 @@ from repro.errors import EngineError
 from repro.graph.builders import symmetrize
 from repro.graph.csr import CSRGraph
 from repro.hardware.topology import dgx1
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.partition.partitioners import make_partition
 from repro.runtime import BSPEngine, RunResult
 
@@ -38,6 +40,8 @@ def run(
     partitioner: str = "random",
     gum_config: Optional[GumConfig] = None,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **params,
 ) -> RunResult:
     """Partition, schedule, and execute one algorithm in a single call.
@@ -58,6 +62,10 @@ def run(
         ``random`` / ``seg`` / ``metis``.
     gum_config:
         Arbitrator overrides (GUM only).
+    tracer / metrics:
+        Observability hooks (:mod:`repro.obs`): pass a
+        :class:`~repro.obs.tracer.Tracer` and/or
+        :class:`~repro.obs.metrics.MetricsRegistry` to record the run.
     params:
         Algorithm init parameters (``source=...`` etc.).
     """
@@ -67,14 +75,15 @@ def run(
         graph = symmetrize(graph).with_name(graph.name)
     partition = make_partition(partitioner, graph, num_gpus, seed=seed)
     topology = dgx1(num_gpus)
+    obs = {"tracer": tracer, "metrics": metrics}
     if engine == "gum":
-        runner = GumEngine(topology, config=gum_config)
+        runner = GumEngine(topology, config=gum_config, **obs)
     elif engine == "gunrock":
-        runner = GunrockEngine(topology)
+        runner = GunrockEngine(topology, **obs)
     elif engine == "groute":
-        runner = GrouteEngine(topology)
+        runner = GrouteEngine(topology, **obs)
     elif engine == "bsp":
-        runner = BSPEngine(topology, name="bsp")
+        runner = BSPEngine(topology, name="bsp", **obs)
     else:
         raise EngineError(
             f"unknown engine {engine!r}; "

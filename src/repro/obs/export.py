@@ -1,0 +1,163 @@
+"""Bridging engine records and trace spans — one source of truth.
+
+:func:`iteration_spans` defines, in exactly one place, how a priced
+:class:`~repro.runtime.metrics.IterationRecord` becomes timeline spans:
+a ``superstep`` span on the coordinator track plus ``busy``/``stall``
+spans on each active GPU's track. Engines call it live through
+:func:`emit_iteration`; :func:`result_to_spans` replays a finished
+:class:`~repro.runtime.metrics.RunResult` through the same function, so
+offline reports (``runtime/trace.py``) and interactive traces can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import COORDINATOR_TRACK, SpanRecord, Tracer
+from repro.runtime.metrics import IterationRecord, RunResult
+
+__all__ = [
+    "iteration_spans",
+    "result_to_spans",
+    "emit_iteration",
+]
+
+
+def gpu_track(worker: int) -> str:
+    """Track (Chrome process) name of one GPU worker."""
+    return f"gpu{worker}"
+
+
+def iteration_spans(
+    record: IterationRecord,
+    virtual_start: float,
+    engine: str = "",
+) -> List[SpanRecord]:
+    """Timeline spans for one priced iteration.
+
+    One ``superstep`` span covers the iteration's wall time on the
+    coordinator track; each active worker gets a ``busy`` span and — if
+    it waited at the barrier — a ``stall`` span directly after it.
+    """
+    attrs = {
+        "iteration": record.iteration,
+        "engine": engine,
+        "frontier_size": record.frontier_size,
+        "frontier_edges": record.frontier_edges,
+        "active_workers": list(record.active_workers),
+        "fsteal": record.fsteal_applied,
+        "group_size": record.osteal_group_size,
+        "stolen_edges": record.stolen_edges,
+        "breakdown_ms": record.breakdown.scaled_ms(),
+    }
+    spans = [SpanRecord(
+        name="superstep",
+        track=COORDINATOR_TRACK,
+        cat="superstep",
+        virtual_start=virtual_start,
+        virtual_dur=record.wall_seconds,
+        attrs=attrs,
+    )]
+    for worker in record.active_workers:
+        busy = float(record.busy_seconds[worker])
+        stall = float(record.stall_seconds[worker])
+        if busy > 0.0:
+            spans.append(SpanRecord(
+                name="busy",
+                track=gpu_track(worker),
+                cat="worker",
+                virtual_start=virtual_start,
+                virtual_dur=busy,
+                attrs={"iteration": record.iteration, "gpu": worker},
+            ))
+        if stall > 0.0:
+            spans.append(SpanRecord(
+                name="stall",
+                track=gpu_track(worker),
+                cat="worker",
+                virtual_start=virtual_start + busy,
+                virtual_dur=stall,
+                attrs={"iteration": record.iteration, "gpu": worker},
+            ))
+    return spans
+
+
+def result_to_spans(result: RunResult) -> List[SpanRecord]:
+    """Replay a finished run as the spans a live tracer would emit.
+
+    Includes the ``osteal.group_change`` instants between iterations
+    whose group size differs — the Figure 9 switching events.
+    """
+    spans: List[SpanRecord] = []
+    clock = 0.0
+    prev_group: Optional[int] = None
+    for record in result.iterations:
+        spans.extend(iteration_spans(record, clock, engine=result.engine))
+        group = record.osteal_group_size
+        if group is not None and prev_group is not None \
+                and group != prev_group:
+            spans.append(SpanRecord(
+                name="osteal.group_change",
+                track=COORDINATOR_TRACK,
+                kind="instant",
+                cat="osteal",
+                virtual_start=clock,
+                virtual_dur=0.0,
+                attrs={"from": prev_group, "to": group,
+                       "iteration": record.iteration},
+            ))
+        if group is not None:
+            prev_group = group
+        clock += record.wall_seconds
+    return spans
+
+
+def emit_iteration(
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    record: IterationRecord,
+    virtual_start: float,
+    prev_group: Optional[int],
+    engine: str = "",
+) -> float:
+    """Publish one iteration to a live tracer + metrics registry.
+
+    Returns the virtual clock *after* the iteration. Engines call this
+    once per superstep; with both observers disabled it is a pair of
+    attribute reads.
+    """
+    if tracer.enabled:
+        for span in iteration_spans(record, virtual_start, engine=engine):
+            tracer.emit(span)
+        group = record.osteal_group_size
+        if group is not None and prev_group is not None \
+                and group != prev_group:
+            tracer.instant(
+                "osteal.group_change",
+                virtual_ts=virtual_start,
+                cat="osteal",
+                **{"from": prev_group, "to": group,
+                   "iteration": record.iteration},
+            )
+    if metrics.enabled:
+        metrics.counter("engine.iterations").inc()
+        metrics.counter("engine.frontier_edges").inc(record.frontier_edges)
+        if record.stolen_edges:
+            metrics.counter("steal.edges_total").inc(record.stolen_edges)
+        if record.fsteal_applied:
+            metrics.counter("fsteal.iterations").inc()
+        if record.osteal_group_size is not None:
+            metrics.gauge("osteal.group_size").set(record.osteal_group_size)
+        buckets = metrics.counter(
+            "engine.bucket_seconds",
+            "virtual seconds per Figure-6 cost bucket",
+        )
+        for bucket, seconds in record.breakdown.as_dict().items():
+            if bucket != "total":
+                buckets.inc(seconds, bucket=bucket)
+        metrics.histogram(
+            "engine.iteration_wall_seconds"
+        ).observe(record.wall_seconds)
+    return virtual_start + record.wall_seconds

@@ -1,0 +1,255 @@
+"""Counters, gauges, and histograms engines publish while running.
+
+The paper's evaluation quotes aggregate statistics a timeline cannot
+show — stolen edges per GPU pair, MILP solve latency, the cost model's
+online RMSRE, hub-cache hit rates, the Figure 6 bucket breakdown. A
+:class:`MetricsRegistry` holds those instruments by name; ``bench/``
+and the ``profile`` CLI read one :meth:`~MetricsRegistry.snapshot` at
+the end of a run.
+
+As with tracing, :data:`NULL_METRICS` is the default everywhere:
+instruments it hands out discard updates, and hot paths gate
+label-building work on ``metrics.enabled``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _key_string(key: Tuple[Tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in key) if key else ""
+
+
+class Counter:
+    """Monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        """Add ``value`` to the series selected by ``labels``."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0 if never touched)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every labelled series."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state."""
+        return {
+            "type": self.kind,
+            "total": self.total(),
+            "series": {
+                _key_string(key): value
+                for key, value in sorted(self._values.items())
+            },
+        }
+
+
+class Gauge:
+    """Last-write-wins value (group size, online RMSRE, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self._value = float(value)
+
+    def value(self) -> Optional[float]:
+        """Current value, or ``None`` if never set."""
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state."""
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus decade buckets.
+
+    Buckets are powers of ten of the observed value — wide enough for
+    quantities spanning nanoseconds to seconds without configuration.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = (
+            math.floor(math.log10(abs(value))) if value != 0 else -math.inf
+        )
+        key = int(exponent) if exponent != -math.inf else -999
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the samples seen so far."""
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state."""
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "decade_buckets": {
+                f"1e{exp}" if exp != -999 else "0": count
+                for exp, count in sorted(self._buckets.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument;
+    asking for an existing name with a different type raises.
+    """
+
+    enabled: bool = True
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """Get or create a histogram."""
+        return self._get(Histogram, name, help)
+
+    def names(self) -> List[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instruments' state, keyed by name (JSON-friendly)."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in self.names()
+        }
+
+
+class _NullInstrument:
+    """Discards every update; satisfies all three instrument APIs."""
+
+    __slots__ = ()
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def value(self, **labels):
+        return None
+
+    def total(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: hands out no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = ""):  # type: ignore[override]
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = ""):  # type: ignore[override]
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = ""):  # type: ignore[override]
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Always empty."""
+        return {}
+
+
+#: Shared disabled registry — the default for every engine.
+NULL_METRICS = NullMetrics()

@@ -44,6 +44,9 @@ from repro.graph.gather import gather_edges
 from repro.hardware.spec import MachineSpec
 from repro.hardware.timing import TimingModel
 from repro.hardware.topology import Topology
+from repro.obs.export import emit_iteration
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import Partition
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord, RunResult, TimeBreakdown
@@ -110,6 +113,12 @@ class BSPEngine:
         Engine switches.
     name:
         Engine label in results (benchmarks use "gunrock", "gum", ...).
+    tracer:
+        Observability span sink; defaults to the zero-overhead null
+        tracer.
+    metrics:
+        Counter/gauge/histogram registry; defaults to the null
+        registry.
     """
 
     def __init__(
@@ -119,12 +128,16 @@ class BSPEngine:
         machine: Optional[MachineSpec] = None,
         options: Optional[EngineOptions] = None,
         name: str = "bsp",
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._topology = topology
         self._scheduler = scheduler or StaticScheduler()
         self._timing = TimingModel(topology, machine=machine)
         self._options = options or EngineOptions()
         self._name = name
+        self._tracer = tracer or NULL_TRACER
+        self._metrics = metrics or NULL_METRICS
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +159,16 @@ class BSPEngine:
     def options(self) -> EngineOptions:
         """Engine switches."""
         return self._options
+
+    @property
+    def tracer(self) -> Tracer:
+        """The engine's span sink (null when tracing is off)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The engine's metrics registry (null when metrics are off)."""
+        return self._metrics
 
     # ------------------------------------------------------------------
     def run(
@@ -178,8 +201,9 @@ class BSPEngine:
             fragment_home=np.arange(num_workers, dtype=np.int64),
             fragment_worker=np.arange(num_workers, dtype=np.int64),
             algorithm_name=algorithm.name,
+            tracer=self._tracer,
+            metrics=self._metrics,
         )
-        self._scheduler.begin_run(context)
 
         state = algorithm.init(graph, **params)
         result = RunResult(
@@ -190,13 +214,29 @@ class BSPEngine:
             values=state.values,
         )
 
-        while state.frontier and state.iteration < limit:
-            record = self._run_iteration(graph, partition, algorithm,
-                                         state, context)
-            result.iterations.append(record)
-            result.breakdown.add(record.breakdown)
-            result.real_decision_seconds += record.real_decision_seconds
-            state.iteration += 1
+        with self._tracer.span(
+            "run", cat="engine", engine=self._name,
+            algorithm=algorithm.name, graph=graph.name,
+            num_gpus=num_workers,
+        ) as run_span:
+            self._scheduler.begin_run(context)
+            virtual_clock = 0.0
+            prev_group: Optional[int] = None
+            while state.frontier and state.iteration < limit:
+                record = self._run_iteration(graph, partition, algorithm,
+                                             state, context)
+                result.iterations.append(record)
+                result.breakdown.add(record.breakdown)
+                result.real_decision_seconds += record.real_decision_seconds
+                virtual_clock = emit_iteration(
+                    self._tracer, self._metrics, record, virtual_clock,
+                    prev_group, engine=self._name,
+                )
+                if record.osteal_group_size is not None:
+                    prev_group = record.osteal_group_size
+                state.iteration += 1
+            run_span.set(iterations=state.iteration,
+                         virtual_total_ms=virtual_clock * 1e3)
         result.values = state.values
         result.converged = not state.frontier
         return result

@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.hardware.timing import TimingModel
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import Partition
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord
@@ -69,6 +71,10 @@ class RunContext:
     ``fragment_home`` maps fragment -> the GPU physically holding its
     data (fixed for the whole run); ``fragment_worker`` maps fragment
     -> the GPU currently *responsible* for it (OSteal rewrites this).
+
+    ``tracer``/``metrics`` are the engine's observability hooks —
+    schedulers record their decisions through them (null by default,
+    so uninstrumented runs pay nothing).
     """
 
     graph: CSRGraph
@@ -78,6 +84,8 @@ class RunContext:
     fragment_worker: np.ndarray
     algorithm_name: str = ""
     extras: dict = field(default_factory=dict)
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = NULL_METRICS
 
     @property
     def num_workers(self) -> int:

@@ -8,6 +8,11 @@ Figure 8 do:
 * :func:`render_timeline` — an ASCII Gantt view of per-GPU busy/stall
   per iteration (the Figure 1 picture in a terminal);
 * :func:`utilization_report` — aggregate per-GPU busy/stall shares.
+
+The timeline and utilization views are computed from the span stream of
+:func:`repro.obs.export.result_to_spans` — the same records a live
+:class:`~repro.obs.tracer.Tracer` emits — so offline reports and
+interactive traces can never disagree about what an iteration did.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from repro.errors import TraceFormatError
+from repro.obs.export import gpu_track, result_to_spans
 from repro.runtime.metrics import RunResult
 
 __all__ = [
@@ -72,12 +79,58 @@ def save_trace(result: RunResult, path: Union[str, Path]) -> None:
 
 
 def load_trace(path: Union[str, Path]) -> tuple[Dict, List[Dict]]:
-    """Read a trace file back: ``(header, iteration_records)``."""
+    """Read a trace file back: ``(header, iteration_records)``.
+
+    Raises
+    ------
+    TraceFormatError
+        If the file is empty, a line is not valid JSON (truncated
+        writes included), or a line is not a JSON object. The message
+        carries the file and 1-based line number.
+    """
+    lines: List[Dict] = []
     with open(path) as handle:
-        lines = [json.loads(line) for line in handle if line.strip()]
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: malformed trace line "
+                    f"({exc.msg}): {line.strip()[:80]!r}"
+                ) from exc
+            if not isinstance(parsed, dict):
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected a JSON object, "
+                    f"got {type(parsed).__name__}"
+                )
+            lines.append(parsed)
     if not lines:
-        raise ValueError(f"{path}: empty trace")
+        raise TraceFormatError(f"{path}: empty trace")
     return lines[0], lines[1:]
+
+
+def _spans_by_iteration(result: RunResult) -> Dict[int, Dict]:
+    """Index the run's span stream: iteration -> its worker spans.
+
+    Returns ``{iteration: {"superstep": SpanRecord,
+    "workers": {gpu: {"busy": dur, "stall": dur}}}}``.
+    """
+    indexed: Dict[int, Dict] = {}
+    for span in result_to_spans(result):
+        iteration = span.attrs.get("iteration")
+        if iteration is None or span.kind != "span":
+            continue
+        entry = indexed.setdefault(iteration, {"superstep": None,
+                                               "workers": {}})
+        if span.name == "superstep":
+            entry["superstep"] = span
+        elif span.name in ("busy", "stall"):
+            gpu = span.attrs["gpu"]
+            entry["workers"].setdefault(gpu, {})[span.name] = \
+                span.virtual_dur
+    return indexed
 
 
 def render_timeline(
@@ -87,34 +140,46 @@ def render_timeline(
 ) -> str:
     """ASCII Gantt chart: one row per (iteration, GPU).
 
-    ``#`` is busy time, ``.`` is stall, blank is excluded-from-group;
-    each bar is normalized to the iteration's critical path.
+    ``#`` is busy time, ``.`` is stall, ``-`` marks a worker evicted by
+    OSteal (out of the group, not waiting). Bars are normalized to the
+    iteration's critical path — the largest per-GPU busy+stall sum — so
+    a fully utilized GPU fills the row and a stalling one shows its
+    idle tail at true scale.
     """
     if not result.iterations:
         return "(empty run)"
+    indexed = _spans_by_iteration(result)
     step = max(1, result.num_iterations // max_iterations)
     lines = [
         f"{result.engine}/{result.algorithm} on {result.graph_name} — "
-        f"'#' busy, '.' stall, blank = evicted",
+        f"'#' busy, '.' stall, '-' evicted",
     ]
     for idx in range(0, result.num_iterations, step):
         record = result.iterations[idx]
-        active = set(record.active_workers)
+        entry = indexed.get(record.iteration, {"workers": {}})
+        workers = entry["workers"]
         critical = max(
-            float(record.busy_seconds.max()), 1e-12
+            (sum(spans.values()) for spans in workers.values()),
+            default=0.0,
         )
+        critical = max(critical, 1e-12)
         lines.append(
             f"iter {idx:5d}  wall {record.wall_seconds * 1e3:8.3f} ms  "
             f"n={record.num_active}"
         )
+        active = set(record.active_workers)
         for gpu in range(result.num_gpus):
             if gpu not in active:
-                lines.append(f"  gpu{gpu}  ")
+                lines.append(f"  gpu{gpu}  " + "-" * width)
                 continue
+            spans = workers.get(gpu, {})
             busy_cells = int(
-                round(width * record.busy_seconds[gpu] / critical)
+                round(width * spans.get("busy", 0.0) / critical)
             )
-            stall_cells = max(0, width - busy_cells)
+            stall_cells = int(
+                round(width * spans.get("stall", 0.0) / critical)
+            )
+            stall_cells = min(stall_cells, width - busy_cells)
             lines.append(
                 f"  gpu{gpu}  " + "#" * busy_cells + "." * stall_cells
             )
@@ -122,9 +187,22 @@ def render_timeline(
 
 
 def utilization_report(result: RunResult) -> Dict[str, object]:
-    """Aggregate per-GPU utilization over the whole run."""
-    busy = result.busy_matrix().sum(axis=0)
-    stall = result.stall_matrix().sum(axis=0)
+    """Aggregate per-GPU utilization over the whole run.
+
+    Sums the ``busy``/``stall`` worker spans of the run's span stream —
+    identical numbers to a Chrome trace of the same run.
+    """
+    busy = np.zeros(result.num_gpus)
+    stall = np.zeros(result.num_gpus)
+    tracks = {gpu_track(gpu): gpu for gpu in range(result.num_gpus)}
+    for span in result_to_spans(result):
+        gpu = tracks.get(span.track)
+        if gpu is None or span.kind != "span":
+            continue
+        if span.name == "busy":
+            busy[gpu] += span.virtual_dur
+        elif span.name == "stall":
+            stall[gpu] += span.virtual_dur
     denom = np.maximum(busy + stall, 1e-12)
     return {
         "per_gpu_busy_ms": (busy * 1e3).round(3).tolist(),

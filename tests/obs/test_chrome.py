@@ -1,0 +1,117 @@
+"""Chrome trace_event export: schema validity and clock separation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    ChromeTraceSink,
+    SpanRecord,
+    Tracer,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture()
+def mixed_records():
+    return [
+        SpanRecord(name="superstep", track="coordinator",
+                   virtual_start=0.0, virtual_dur=0.5,
+                   attrs={"iteration": 0}),
+        SpanRecord(name="busy", track="gpu0",
+                   virtual_start=0.0, virtual_dur=0.3),
+        SpanRecord(name="busy", track="gpu1",
+                   virtual_start=0.0, virtual_dur=0.5),
+        SpanRecord(name="fsteal.milp", track="coordinator",
+                   wall_start=10.0, wall_dur=0.001,
+                   attrs={"solver": "greedy"}),
+        SpanRecord(name="osteal.group_change", track="coordinator",
+                   kind="instant", virtual_start=0.5, virtual_dur=0.0,
+                   attrs={"from": 8, "to": 2}),
+    ]
+
+
+def test_event_schema(mixed_records):
+    events = chrome_trace_events(mixed_records)
+    json.dumps(events)  # serializable end to end
+    for event in events:
+        assert {"name", "ph", "pid", "tid"} <= set(event)
+        assert event["ph"] in ("X", "M", "i")
+        if event["ph"] == "X":
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        if event["ph"] == "i":
+            assert event["s"] == "p"
+
+
+def test_one_process_per_track(mixed_records):
+    events = chrome_trace_events(mixed_records)
+    names = {e["args"]["name"]: e["pid"]
+             for e in events if e["ph"] == "M"}
+    # virtual tracks plus the host-clock shadow track
+    assert set(names) == {"coordinator", "gpu0", "gpu1",
+                          "coordinator (host)"}
+    # coordinator first, gpus in numeric order
+    assert names["coordinator"] == 0
+    assert names["gpu0"] < names["gpu1"]
+    # pids are dense and every event references a declared process
+    assert sorted(names.values()) == list(range(len(names)))
+    assert {e["pid"] for e in events} <= set(names.values())
+
+
+def test_clock_domains_never_share_a_process(mixed_records):
+    events = chrome_trace_events(mixed_records)
+    names = {e["pid"]: e["args"]["name"]
+             for e in events if e["ph"] == "M"}
+    host_pids = {pid for pid, name in names.items()
+                 if name.endswith("(host)")}
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        if event["name"] == "fsteal.milp":
+            assert event["pid"] in host_pids
+            # rebased to the first host timestamp
+            assert event["ts"] == 0.0
+        else:
+            assert event["pid"] not in host_pids
+
+
+def test_microsecond_scaling(mixed_records):
+    events = chrome_trace_events(mixed_records)
+    superstep = next(e for e in events if e["name"] == "superstep")
+    assert superstep["ts"] == 0.0
+    assert superstep["dur"] == pytest.approx(0.5e6)
+
+
+def test_numpy_attrs_are_coerced():
+    record = SpanRecord(
+        name="x", virtual_start=0.0, virtual_dur=1.0,
+        attrs={"count": np.int64(3), "loads": np.array([1, 2])},
+    )
+    events = chrome_trace_events([record])
+    payload = json.dumps(events)
+    assert json.loads(payload)[-1]["args"] == {"count": 3,
+                                               "loads": [1, 2]}
+
+
+def test_write_chrome_trace_container(tmp_path, mixed_records):
+    path = write_chrome_trace(tmp_path / "t.json", mixed_records,
+                              meta={"engine": "gum"})
+    data = json.load(open(path))
+    assert set(data) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert data["displayTimeUnit"] == "ms"
+    assert data["otherData"] == {"engine": "gum"}
+    assert len(data["traceEvents"]) > len(mixed_records)  # + metadata
+
+
+def test_chrome_sink_writes_on_close(tmp_path):
+    path = tmp_path / "sink.json"
+    tracer = Tracer(sinks=[ChromeTraceSink(path)])
+    tracer.virtual_span("busy", start=0.0, dur=1.0, track="gpu0")
+    assert not path.exists()
+    tracer.close()
+    data = json.load(open(path))
+    assert any(e["name"] == "busy" for e in data["traceEvents"])
+    tracer.close()  # idempotent, does not rewrite

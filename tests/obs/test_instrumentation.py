@@ -1,0 +1,153 @@
+"""End-to-end observability: engines emit spans/metrics when asked,
+and cost nothing measurable when they are not."""
+
+import pytest
+
+from repro.baselines import GrouteEngine, GunrockEngine
+from repro.core import GumConfig, GumEngine
+from repro.hardware import dgx1
+from repro.obs import (
+    InMemorySink,
+    MetricsRegistry,
+    Tracer,
+    result_to_spans,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_gum(skewed_graph, skewed_partition, source):
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    metrics = MetricsRegistry()
+    engine = GumEngine(dgx1(8), config=GumConfig(cost_model="oracle"),
+                       tracer=tracer, metrics=metrics)
+    result = engine.run(skewed_graph, skewed_partition, "bfs",
+                        source=source)
+    return result, sink.records, metrics
+
+
+def test_gum_emits_superstep_and_decision_spans(traced_gum):
+    result, records, _ = traced_gum
+    names = {r.name for r in records}
+    assert "run" in names
+    assert "superstep" in names
+    assert "gum.fsteal.milp" in names or "gum.osteal" in names
+    supersteps = [r for r in records if r.name == "superstep"]
+    assert len(supersteps) == result.num_iterations
+    # supersteps tile the virtual timeline without gaps
+    clock = 0.0
+    for span in supersteps:
+        assert span.virtual_start == pytest.approx(clock)
+        clock += span.virtual_dur
+    assert clock == pytest.approx(result.total_seconds)
+
+
+@pytest.fixture(scope="module")
+def traced_road(road_graph):
+    """A long-tail run that reliably folds the OSteal group."""
+    import numpy as np
+
+    from repro.partition import random_partition
+
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    engine = GumEngine(dgx1(8), config=GumConfig(cost_model="oracle"),
+                       tracer=tracer)
+    source = int(np.argmax(road_graph.out_degrees()))
+    result = engine.run(road_graph, random_partition(road_graph, 8, seed=0),
+                        "bfs", source=source)
+    return result, sink.records
+
+
+def test_gum_osteal_spans_and_group_change_instants(traced_road):
+    result, records = traced_road
+    assert min(result.group_size_series()) < result.num_gpus
+    osteal = [r for r in records if r.name == "gum.osteal"]
+    assert osteal, "OSteal decisions must be spanned"
+    assert all("group_size" in r.attrs for r in osteal)
+    enumerations = [r for r in records if r.name == "osteal.enumerate"]
+    assert enumerations
+    assert all(r.attrs["chosen"] >= 1 for r in enumerations)
+    instants = [r for r in records
+                if r.name == "osteal.group_change"]
+    assert instants, "group transitions must leave instant markers"
+    assert all(r.kind == "instant" for r in instants)
+
+
+def test_gum_metrics_populated(traced_gum):
+    result, _, metrics = traced_gum
+    snap = metrics.snapshot()
+    assert snap["engine.iterations"]["total"] == result.num_iterations
+    assert "costmodel.rmsre_online" in snap
+    assert "hubcache.num_hubs" in snap
+    stolen = sum(r.stolen_edges for r in result.iterations)
+    assert snap.get("steal.edges_total", {"total": 0})["total"] == stolen
+    if stolen:
+        # the per-pair breakdown must account for every stolen edge
+        assert snap["steal.edges_by_pair"]["total"] == stolen
+    bucket_series = snap["engine.bucket_seconds"]["series"]
+    assert set(bucket_series) == {
+        "bucket=compute", "bucket=communication", "bucket=serialization",
+        "bucket=sync", "bucket=overhead",
+    }
+    assert snap["engine.bucket_seconds"]["total"] == pytest.approx(
+        result.total_seconds
+    )
+
+
+def test_live_spans_match_offline_replay(traced_gum):
+    result, records, _ = traced_gum
+    live = [(r.name, r.track, r.virtual_start, r.virtual_dur)
+            for r in records
+            if r.cat in ("superstep", "worker")]
+    offline = [(r.name, r.track, r.virtual_start, r.virtual_dur)
+               for r in result_to_spans(result)
+               if r.cat in ("superstep", "worker")]
+    assert live == offline
+
+
+def test_tracing_does_not_change_virtual_time(
+    skewed_graph, skewed_partition, source
+):
+    """The acceptance bound: tracing on/off moves total_ms by < 1%."""
+    def run(**obs):
+        engine = GumEngine(dgx1(8),
+                           config=GumConfig(cost_model="oracle"), **obs)
+        return engine.run(skewed_graph, skewed_partition, "bfs",
+                          source=source)
+
+    plain = run()
+    traced = run(tracer=Tracer(sinks=[InMemorySink()]),
+                 metrics=MetricsRegistry())
+    assert traced.total_ms == pytest.approx(plain.total_ms, rel=1e-9)
+    assert abs(traced.total_ms - plain.total_ms) < 0.01 * plain.total_ms
+
+
+def test_null_observers_by_default(skewed_graph, skewed_partition, source):
+    engine = GumEngine(dgx1(8), config=GumConfig(cost_model="oracle"))
+    assert engine.tracer.enabled is False
+    assert engine.metrics.enabled is False
+    engine.run(skewed_graph, skewed_partition, "bfs", source=source)
+
+
+def test_gunrock_and_groute_emit_supersteps(
+    skewed_graph, skewed_partition, source
+):
+    for factory in (
+        lambda t, m: GunrockEngine(dgx1(8), tracer=t, metrics=m),
+        lambda t, m: GrouteEngine(dgx1(8), tracer=t, metrics=m),
+    ):
+        sink = InMemorySink()
+        metrics = MetricsRegistry()
+        engine = factory(Tracer(sinks=[sink]), metrics)
+        result = engine.run(skewed_graph, skewed_partition, "bfs",
+                            source=source)
+        supersteps = [r for r in sink.records if r.name == "superstep"]
+        assert len(supersteps) == result.num_iterations
+        run_spans = [r for r in sink.records if r.name == "run"]
+        assert len(run_spans) == 1
+        assert run_spans[0].attrs["virtual_total_ms"] == pytest.approx(
+            result.total_ms
+        )
+        assert metrics.counter("engine.iterations").total() == \
+            result.num_iterations

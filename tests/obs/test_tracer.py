@@ -1,0 +1,102 @@
+"""Unit tests for the span tracer and its sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+)
+
+
+def test_span_records_wall_time_and_attrs():
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("solve", cat="fsteal", solver="greedy") as span:
+        span.set(objective=1.5)
+    assert len(sink.records) == 1
+    record = sink.records[0]
+    assert record.name == "solve"
+    assert record.cat == "fsteal"
+    assert record.attrs == {"solver": "greedy", "objective": 1.5}
+    assert record.wall_start is not None
+    assert record.wall_dur >= 0.0
+    assert record.virtual_start is None
+
+
+def test_spans_nest_with_depth():
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    # inner closes (and emits) first
+    inner, outer = sink.records
+    assert inner.name == "inner" and inner.depth == 1
+    assert outer.name == "outer" and outer.depth == 0
+
+
+def test_virtual_span_and_instant():
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    tracer.virtual_span("busy", start=0.5, dur=0.25, track="gpu3")
+    tracer.instant("group_change", virtual_ts=0.75)
+    busy, instant = sink.records
+    assert busy.virtual_start == 0.5 and busy.virtual_dur == 0.25
+    assert busy.track == "gpu3"
+    assert instant.kind == "instant" and instant.virtual_dur == 0.0
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path, meta={"engine": "gum"})])
+    with tracer.span("a", key="v"):
+        pass
+    tracer.virtual_span("b", start=0.0, dur=1.0)
+    tracer.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0] == {"format": "repro-trace", "version": 1,
+                        "engine": "gum"}
+    assert lines[1]["name"] == "a"
+    assert lines[1]["attrs"] == {"key": "v"}
+    assert "virtual_start" not in lines[1]
+    assert lines[2]["virtual_dur"] == 1.0
+    assert "wall_start" not in lines[2]
+    tracer.close()  # idempotent
+
+
+def test_record_as_dict_omits_absent_clocks():
+    record = SpanRecord(name="x", virtual_start=1.0, virtual_dur=2.0)
+    out = record.as_dict()
+    assert "wall_start" not in out
+    assert out["virtual_start"] == 1.0
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("anything", attr=1) as span:
+        assert span.set(more=2) is span
+        span.set_virtual(0.0, 1.0)
+    NULL_TRACER.virtual_span("x", 0.0, 1.0)
+    NULL_TRACER.instant("y")
+    NULL_TRACER.emit(SpanRecord(name="z"))
+    assert NULL_TRACER.sinks == []
+
+
+def test_null_tracer_rejects_sinks():
+    with pytest.raises(ValueError, match="NULL_TRACER"):
+        NULL_TRACER.add_sink(InMemorySink())
+
+
+def test_add_sink_after_construction():
+    tracer = Tracer()
+    assert tracer.enabled
+    sink = InMemorySink()
+    tracer.add_sink(sink)
+    with tracer.span("late"):
+        pass
+    assert [r.name for r in sink.records] == ["late"]

@@ -5,8 +5,14 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import ReproError, TraceFormatError
 from repro.hardware import dgx1
 from repro.runtime import BSPEngine
+from repro.runtime.metrics import (
+    IterationRecord,
+    RunResult,
+    TimeBreakdown,
+)
 from repro.runtime.trace import (
     load_trace,
     render_timeline,
@@ -53,6 +59,29 @@ def test_load_empty_trace_rejected(tmp_path):
         load_trace(path)
 
 
+def test_load_malformed_trace_raises_trace_format_error(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"engine": "gum"}\n{"iteration": 0, "wall_')
+    with pytest.raises(TraceFormatError, match=r"bad\.jsonl:2"):
+        load_trace(path)
+
+
+def test_load_non_object_line_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"engine": "gum"}\n[1, 2, 3]\n')
+    with pytest.raises(TraceFormatError, match="expected a JSON object"):
+        load_trace(path)
+
+
+def test_trace_format_error_is_both_repro_and_value_error(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json at all\n")
+    with pytest.raises(ReproError):
+        load_trace(path)
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
 def test_render_timeline(result):
     text = render_timeline(result, max_iterations=5, width=20)
     assert "busy" in text
@@ -66,11 +95,51 @@ def test_render_timeline(result):
 
 
 def test_render_timeline_empty():
-    from repro.runtime import RunResult
-
     empty = RunResult(engine="e", algorithm="a", graph_name="g",
                       num_gpus=2, values=np.zeros(1))
     assert render_timeline(empty) == "(empty run)"
+
+
+def _synthetic_result():
+    """One iteration, 3 GPUs: gpu0 busy+stall, gpu1 all busy, gpu2 out."""
+    breakdown = TimeBreakdown(compute=0.75, communication=0.25)
+    record = IterationRecord(
+        iteration=0,
+        frontier_size=10,
+        frontier_edges=100,
+        active_workers=[0, 1],
+        busy_seconds=np.array([0.5, 1.0, 0.0]),
+        stall_seconds=np.array([0.5, 0.0, 0.0]),
+        wall_seconds=1.0,
+        breakdown=breakdown,
+        osteal_group_size=2,
+    )
+    result = RunResult(engine="gum", algorithm="bfs", graph_name="g",
+                       num_gpus=3, values=np.zeros(1),
+                       iterations=[record])
+    result.breakdown.add(breakdown)
+    return result
+
+
+def test_render_timeline_normalizes_to_busy_plus_stall():
+    text = render_timeline(_synthetic_result(), width=20)
+    rows = {line.split()[0]: line for line in text.splitlines()
+            if line.strip().startswith("gpu")}
+    # gpu1's busy+stall (1.0) is the critical path: a full bar of '#'
+    assert rows["gpu1"].count("#") == 20
+    assert "." not in rows["gpu1"]
+    # gpu0 is half busy, half stalled — against the same critical path
+    assert rows["gpu0"].count("#") == 10
+    assert rows["gpu0"].count(".") == 10
+
+
+def test_render_timeline_marks_evicted_workers():
+    text = render_timeline(_synthetic_result(), width=20)
+    assert "'-' evicted" in text.splitlines()[0]
+    rows = [line for line in text.splitlines()
+            if line.strip().startswith("gpu2")]
+    assert rows and rows[0].count("-") == 20
+    assert "#" not in rows[0] and "." not in rows[0]
 
 
 def test_utilization_report(result):

@@ -134,6 +134,93 @@ def test_result_summary_fields(skewed_graph, source, oracle_config):
     assert summary["num_gpus"] == 4
     assert 0 <= summary["stall_fraction"] <= 1
     json.dumps(summary)  # must be JSON-serializable
+    # original keys stay stable for downstream consumers
+    assert {"engine", "algorithm", "graph", "num_gpus", "total_ms",
+            "iterations", "converged", "stall_fraction", "breakdown_ms",
+            "stolen_edges", "min_group_size",
+            "real_decision_ms"} <= set(summary)
+    # observability additions
+    assert summary["fsteal_iterations"] == sum(
+        1 for r in result.iterations if r.fsteal_applied
+    )
+    assert 1 <= summary["mean_group_size"] <= 4
+    assert len(summary["per_gpu_utilization"]) == 4
+    assert all(0.0 <= u <= 1.0 for u in summary["per_gpu_utilization"])
+
+
+def test_cli_run_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "run.trace.json"
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gum", "--gpus", "2", "--cost-model", "oracle",
+        "--trace", str(trace), "--metrics", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "engine.iterations" in payload["metrics"]
+    data = json.load(open(trace))
+    assert any(e["name"] == "superstep" for e in data["traceEvents"])
+
+
+def test_cli_run_trace_jsonl(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gunrock", "--gpus", "2",
+        "--trace", str(trace),
+    ])
+    assert code == 0
+    lines = [json.loads(line)
+             for line in trace.read_text().splitlines()]
+    assert lines[0]["format"] == "repro-trace"
+    assert any(line.get("name") == "superstep" for line in lines[1:])
+
+
+def test_cli_profile(tmp_path, capsys):
+    out = tmp_path / "p.trace.json"
+    jsonl = tmp_path / "p.jsonl"
+    code = main([
+        "profile", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gum", "--gpus", "4", "--cost-model", "oracle",
+        "--out", str(out), "--jsonl", str(jsonl), "--timeline",
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "chrome trace" in text
+    assert "gpu0" in text  # the --timeline Gantt
+    data = json.load(open(out))
+    names = {e["name"] for e in data["traceEvents"]}
+    assert "superstep" in names and "run" in names
+    assert jsonl.exists()
+
+
+def test_cli_profile_json(tmp_path, capsys):
+    out = tmp_path / "p.trace.json"
+    code = main([
+        "profile", "--graph", "TX", "--algorithm", "bfs",
+        "--gpus", "2", "--cost-model", "oracle",
+        "--out", str(out), "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"] == str(out)
+    assert "engine.iterations" in payload["metrics"]
+    assert "fsteal_iterations" in payload
+
+
+def test_cli_compare_writes_per_engine_traces(tmp_path, capsys):
+    trace = tmp_path / "cmp.trace.json"
+    code = main([
+        "compare", "--graph", "TX", "--algorithm", "bfs",
+        "--gpus", "2", "--cost-model", "oracle",
+        "--trace", str(trace), "--json",
+    ])
+    assert code == 0
+    json.loads(capsys.readouterr().out)
+    for engine in ("gum", "gunrock", "groute"):
+        per_engine = tmp_path / f"cmp.trace.{engine}.json"
+        assert per_engine.exists()
+        json.load(open(per_engine))
 
 
 def test_parser_version():
