@@ -1,0 +1,129 @@
+"""Bit-identity checks: vectorized hot path vs reference loops.
+
+Each test compares a vectorized kernel against the straightforward
+nested-loop implementation it replaced (kept in ``conftest.py`` as the
+executable specification).  Everything is compared with
+``np.array_equal`` — the vectorization must be *exact*, not merely
+close, so solver decisions cannot drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from conftest import naive_assembly, naive_price_chunks, naive_tree_predict
+from repro.bench import perfharness
+from repro.core.milp import (
+    HiGHSSolver,
+    _assemble_constraints,
+    make_solver,
+)
+
+
+@pytest.mark.parametrize("n_frag,n_work,seed", [
+    (8, 8, 0), (64, 8, 0), (64, 8, 7), (16, 4, 3), (1, 1, 0),
+])
+def test_dense_assembly_bit_identical(n_frag, n_work, seed):
+    problem = perfharness._random_problem(n_frag, n_work, seed=seed)
+    c, a_ub, a_eq, b_eq, allowed, num_x = naive_assembly(problem)
+    system = _assemble_constraints(problem)
+    assert system.num_x == num_x
+    assert np.array_equal(system.allowed, allowed)
+    assert np.array_equal(system.c, c)
+    assert np.array_equal(system.a_ub, a_ub)
+    assert np.array_equal(system.a_eq, a_eq)
+    assert np.array_equal(system.b_eq, b_eq)
+
+
+def test_sparse_assembly_matches_dense(problem_64x8):
+    dense = _assemble_constraints(problem_64x8)
+    sparse_sys = _assemble_constraints(problem_64x8, use_sparse=True)
+    assert np.array_equal(sparse_sys.a_ub.toarray(), dense.a_ub)
+    assert np.array_equal(sparse_sys.a_eq.toarray(), dense.a_eq)
+    assert np.array_equal(sparse_sys.c, dense.c)
+    assert sparse_sys.scale == dense.scale
+
+
+def test_lp_solution_matches_naive_matrices(problem_64x8):
+    """linprog over naive matrices == linprog inside ``_lp_relaxation``."""
+    c, a_ub, a_eq, b_eq, allowed, num_x = naive_assembly(problem_64x8)
+    b_ub = np.zeros(a_ub.shape[0])
+    reference = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+        bounds=(0, None), method="highs",
+    )
+    assert reference.success
+    solver = make_solver("lp")
+    solution = solver.solve(problem_64x8)
+    problem_64x8.validate_assignment(solution.assignment)
+    # The LP inputs are bit-identical, so the relaxation value the
+    # rounding starts from must be too.
+    system = _assemble_constraints(problem_64x8)
+    vectorized = linprog(
+        system.c, A_ub=system.a_ub, b_ub=system.b_ub,
+        A_eq=system.a_eq, b_eq=system.b_eq,
+        bounds=(0, None), method="highs",
+    )
+    assert vectorized.fun == reference.fun
+    assert np.array_equal(vectorized.x, reference.x)
+
+
+def test_highs_objective_matches_naive_matrices(problem_64x8):
+    """The sparse-assembled MILP reproduces the dense formulation."""
+    c, a_ub, a_eq, b_eq, allowed, num_x = naive_assembly(problem_64x8)
+    integrality = np.ones(num_x + 1)
+    integrality[-1] = 0.0
+    reference = milp(
+        c,
+        constraints=[
+            LinearConstraint(a_ub, -np.inf, np.zeros(a_ub.shape[0])),
+            LinearConstraint(a_eq, b_eq, b_eq),
+        ],
+        integrality=integrality,
+        bounds=Bounds(lb=0.0),
+    )
+    assert reference.success
+    solution = HiGHSSolver().solve(problem_64x8)
+    problem_64x8.validate_assignment(solution.assignment)
+    scale = _assemble_constraints(problem_64x8).scale
+    assert solution.objective == pytest.approx(
+        reference.fun * scale, rel=1e-9
+    )
+
+
+def test_tree_predict_bit_identical():
+    from repro.core.costmodel import DecisionTreeModel
+
+    rng = np.random.default_rng(1)
+    train = rng.uniform(0.0, 200.0, size=(512, 6))
+    costs = np.exp(rng.normal(-20.0, 0.4, size=512))
+    model = DecisionTreeModel()
+    model.fit(train, costs)
+    batch = rng.uniform(0.0, 200.0, size=(2048, 6))
+    assert np.array_equal(model.predict(batch),
+                          naive_tree_predict(model, batch))
+
+
+def test_pricing_bit_identical():
+    engine, plan, features, context, n_gpus = (
+        perfharness._pricing_fixture()
+    )
+    vec = engine._price_chunks(plan, features, context, n_gpus)
+    ref = naive_price_chunks(engine, plan, features, context, n_gpus)
+    for got, want in zip(vec, ref):
+        assert np.array_equal(got, want)
+
+
+def test_pricing_empty_plan_is_zero():
+    from repro.runtime.scheduler import IterationPlan
+
+    engine, _plan, features, context, n_gpus = (
+        perfharness._pricing_fixture()
+    )
+    empty = IterationPlan(chunks=[], active_workers=[0])
+    busy, compute, comm = engine._price_chunks(
+        empty, features, context, n_gpus
+    )
+    assert not busy.any() and not compute.any() and not comm.any()

@@ -1,0 +1,105 @@
+"""Speedup floor and baseline regression gate for the hot path.
+
+The ISSUE-2 acceptance criterion — "LP/MILP constraint assembly and
+per-iteration pricing show >=3x speedup on the 8-GPU x 64-fragment
+microbench" — is asserted here by timing the vectorized kernel against
+the reference loop *in the same process*, which makes the check hold
+on any machine.  The committed ``baseline.json`` gate then guards
+against future regressions using calibration-normalized scores.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import (
+    BASELINE_PATH,
+    naive_assembly,
+    naive_price_chunks,
+    naive_tree_predict,
+)
+from repro.bench import perfharness
+from repro.core.milp import _assemble_constraints
+
+SPEEDUP_FLOOR = 3.0
+
+
+def _speedup(reference, candidate, repeats=5, min_seconds=0.05):
+    ref = perfharness.time_callable(
+        reference, repeats=repeats, min_seconds=min_seconds
+    )
+    new = perfharness.time_callable(
+        candidate, repeats=repeats, min_seconds=min_seconds
+    )
+    return ref.seconds / new.seconds
+
+
+def test_assembly_speedup(problem_64x8):
+    ratio = _speedup(
+        lambda: naive_assembly(problem_64x8),
+        lambda: _assemble_constraints(problem_64x8),
+    )
+    print(f"\nconstraint assembly speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_pricing_speedup():
+    engine, plan, features, context, n_gpus = (
+        perfharness._pricing_fixture()
+    )
+    ratio = _speedup(
+        lambda: naive_price_chunks(
+            engine, plan, features, context, n_gpus
+        ),
+        lambda: engine._price_chunks(plan, features, context, n_gpus),
+    )
+    print(f"\nchunk pricing speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_tree_predict_speedup():
+    from repro.core.costmodel import DecisionTreeModel
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    train = rng.uniform(0.0, 200.0, size=(512, 6))
+    costs = np.exp(rng.normal(-20.0, 0.4, size=512))
+    model = DecisionTreeModel()
+    model.fit(train, costs)
+    batch = rng.uniform(0.0, 200.0, size=(4096, 6))
+    ratio = _speedup(
+        lambda: naive_tree_predict(model, batch),
+        lambda: model.predict(batch),
+    )
+    print(f"\ntree predict speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_bench_report_schema(bench_report):
+    assert bench_report["schema"] == perfharness.SCHEMA
+    assert bench_report["calibration_seconds"] > 0
+    cases = bench_report["benchmarks"]
+    assert set(perfharness.BENCH_CASES) == set(cases)
+    for name, entry in cases.items():
+        assert entry["seconds"] > 0, name
+        assert entry["score"] > 0, name
+
+
+def test_no_regression_vs_baseline(bench_report):
+    if os.environ.get("REPRO_BENCH_SKIP_GATE"):
+        pytest.skip("gate disabled via REPRO_BENCH_SKIP_GATE")
+    if not BASELINE_PATH.exists():
+        pytest.skip(
+            "no committed baseline; run "
+            "`python -m repro bench --update-baseline`"
+        )
+    baseline = perfharness.load_report(BASELINE_PATH)
+    regressions = perfharness.compare_reports(bench_report, baseline)
+    # Only fail on regressions that reproduce on a fresh measurement —
+    # transient host noise (CPU contention, frequency scaling) does not.
+    confirmed = perfharness.confirm_regressions(regressions, baseline)
+    assert not confirmed, "\n" + perfharness.format_regressions(
+        confirmed
+    )

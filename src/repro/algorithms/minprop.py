@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.algorithms.base import AlgorithmState, GASAlgorithm
 from repro.graph.csr import CSRGraph
-from repro.graph.gather import gather_edge_positions
 from repro.runtime.frontier import Frontier
 
 __all__ = ["MinPropagation"]
@@ -74,10 +73,13 @@ class MinPropagation(GASAlgorithm):
 
     # ------------------------------------------------------------------
     def step(self, graph: CSRGraph, state: AlgorithmState) -> Frontier:
-        """Relax all out-edges of the frontier."""
-        sources, positions = gather_edge_positions(
-            graph, state.frontier.vertices
-        )
+        """Relax all out-edges of the frontier.
+
+        The gather is memoized on the frontier, so when the engine's
+        message-cost model already expanded this frontier the adjacency
+        walk is not repeated.
+        """
+        sources, positions = state.frontier.edge_positions(graph)
         return self._relax(graph, state, sources, positions)
 
     def local_step(
@@ -88,7 +90,7 @@ class MinPropagation(GASAlgorithm):
         allowed_mask: np.ndarray,
     ) -> Frontier:
         """Relax only edges selected by ``allowed_mask`` (CSR order)."""
-        sources, positions = gather_edge_positions(graph, frontier.vertices)
+        sources, positions = frontier.edge_positions(graph)
         keep = allowed_mask[positions]
         return self._relax(graph, state, sources[keep], positions[keep])
 

@@ -22,7 +22,6 @@ import numpy as np
 from repro.algorithms.base import AlgorithmState, GASAlgorithm
 from repro.errors import EngineError
 from repro.graph.csr import CSRGraph
-from repro.graph.gather import gather_edges
 from repro.runtime.frontier import Frontier
 
 __all__ = ["PageRank", "DeltaPageRank"]
@@ -140,7 +139,9 @@ class DeltaPageRank(GASAlgorithm):
         push = residual[active].copy()
         state.values[active] += push
         residual[active] = 0.0
-        sources, destinations, __ = gather_edges(graph, active)
+        # memoized on the frontier — shared with the engine's
+        # message-cost gather of the same frontier
+        sources, destinations, __ = state.frontier.gather(graph)
         if destinations.size:
             share = damping * push / np.maximum(out_deg[active], 1.0)
             lookup = np.zeros(graph.num_vertices)

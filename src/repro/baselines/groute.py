@@ -40,8 +40,6 @@ import numpy as np
 from repro import config as repro_config
 from repro.errors import EngineError
 from repro.graph.csr import CSRGraph
-from repro.graph.features import frontier_features
-from repro.graph.gather import gather_edges
 from repro.hardware.spec import MachineSpec
 from repro.hardware.timing import TimingModel
 from repro.hardware.topology import Topology
@@ -262,8 +260,7 @@ class GrouteEngine:
                 partition.owner, num_workers
             )
             features = [
-                frontier_features(graph, part.vertices)
-                for part in per_fragment
+                part.features(graph) for part in per_fragment
             ]
             # --- phase 1: local relaxation waves ----------------------
             # Weighted relaxation can speculate past the values remote
@@ -294,9 +291,7 @@ class GrouteEngine:
                 updated_parts.append(deferred.vertices)
             # --- phase 2: push cross edges over the ring --------------
             all_updated = Frontier(np.concatenate(updated_parts))
-            sources, destinations, __ = gather_edges(
-                graph, all_updated.vertices
-            )
+            sources, destinations, __ = all_updated.gather(graph)
             cross = (
                 partition.owner[sources] != partition.owner[destinations]
             )
@@ -409,7 +404,7 @@ class GrouteEngine:
                 edges = int(
                     graph.out_degrees(part.vertices).sum() * self._pr_extra
                 )
-                feats = frontier_features(graph, part.vertices)
+                feats = part.features(graph)
                 busy[fragment] += (
                     self._timing.compute_seconds(edges, feats)
                     + edges * self._timing.comm_seconds_per_edge(
@@ -417,9 +412,7 @@ class GrouteEngine:
                     )
                     + self._timing.kernel_launch_seconds(2)
                 )
-            sources, destinations, __ = gather_edges(
-                graph, frontier.vertices
-            )
+            sources, destinations, __ = frontier.gather(graph)
             cross = (
                 partition.owner[sources] != partition.owner[destinations]
             )

@@ -1,0 +1,495 @@
+"""Microbenchmark harness for the per-iteration hot path.
+
+The GUM decision layer is only viable if it stays off the critical
+path (Table IV charges its latency every superstep), so this module
+pins the host-side hot paths with repeatable microbenchmarks:
+
+* FSteal solver solve latency, by backend and problem size,
+* LP/MILP constraint assembly in isolation,
+* the engine's vectorized plan-pricing path (8 GPUs x 64 fragments),
+* one full BFS / PageRank engine iteration,
+* cost-model predict throughput.
+
+``run_suite`` produces a machine-readable report (the committed schema
+is ``repro-bench/1``); ``compare_reports`` flags regressions against a
+committed baseline. Timings are additionally *normalized* by a fixed
+numpy calibration workload measured in the same process, so a baseline
+recorded on one machine transfers to another: a 30% regression gate on
+the normalized score tracks "slower relative to this host's numpy
+throughput", not absolute nanoseconds.
+
+CLI: ``python -m repro bench`` (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "BenchCase",
+    "BenchTiming",
+    "Regression",
+    "BENCH_CASES",
+    "bench_case",
+    "time_callable",
+    "run_suite",
+    "compare_reports",
+    "write_report",
+    "load_report",
+    "format_report",
+    "format_regressions",
+]
+
+SCHEMA = "repro-bench/1"
+
+#: Fail the gate when a normalized score regresses by more than this.
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered microbenchmark.
+
+    ``setup`` builds the workload once (outside the timed region) and
+    returns the zero-argument callable that gets timed.
+    """
+
+    name: str
+    setup: Callable[[], Callable[[], object]]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """Best-of-N per-call latency for one case."""
+
+    name: str
+    seconds: float
+    calls: int
+    repeats: int
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gate violation: a case slower than baseline allows."""
+
+    name: str
+    baseline_score: float
+    current_score: float
+    ratio: float
+
+
+BENCH_CASES: Dict[str, BenchCase] = {}
+
+
+def bench_case(name: str, **meta):
+    """Register a benchmark case (decorator on its setup function)."""
+
+    def register(setup: Callable[[], Callable[[], object]]):
+        if name in BENCH_CASES:
+            raise ReproError(f"duplicate benchmark case {name!r}")
+        BENCH_CASES[name] = BenchCase(name=name, setup=setup, meta=meta)
+        return setup
+
+    return register
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    min_seconds: float = 0.02,
+) -> BenchTiming:
+    """Best-of-``repeats`` per-call latency of ``fn``.
+
+    Each repeat loops ``fn`` until ``min_seconds`` of wall time have
+    accumulated (calibrated from a warmup call), so sub-microsecond
+    cases are still measured against timer resolution. The *minimum*
+    over repeats is the standard low-noise estimator: external
+    interference only ever adds time.
+    """
+    fn()  # warmup: JIT caches, lazy imports, memoized graphs
+    start = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - start, 1e-9)
+    calls = max(1, int(min_seconds / once))
+    best = float("inf")
+    for __ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for __ in range(calls):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / calls)
+    return BenchTiming(name="", seconds=best, calls=calls,
+                       repeats=repeats)
+
+
+# ----------------------------------------------------------------------
+# Calibration: a fixed numpy workload that scales with host speed the
+# same way the benchmarks do (array math + a small linear solve).
+# ----------------------------------------------------------------------
+def _calibration_workload() -> Callable[[], object]:
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((160, 160))
+    gram = a @ a.T + 160 * np.eye(160)
+    b = rng.standard_normal(160)
+    big = rng.standard_normal(200_000)
+
+    def run():
+        x = np.linalg.solve(gram, b)
+        y = np.sort(big * x[0])
+        return float(y[0])
+
+    return run
+
+
+def measure_calibration(repeats: int = 5) -> float:
+    """Per-call seconds of the fixed calibration workload."""
+    return time_callable(_calibration_workload(), repeats=repeats).seconds
+
+
+# ----------------------------------------------------------------------
+# Case registry
+# ----------------------------------------------------------------------
+def _random_problem(n_frag: int, n_work: int, seed: int = 0):
+    from repro.core.milp import FStealProblem
+
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.5e-9, 3e-9, size=(n_frag, n_work))
+    costs[rng.random((n_frag, n_work)) < 0.1] = np.inf
+    workloads = rng.integers(0, 5000, size=n_frag)
+    for i in range(n_frag):
+        if not np.isfinite(costs[i]).any():
+            costs[i, 0] = 1e-9
+    return FStealProblem(costs, workloads)
+
+
+def _register_solver_cases() -> None:
+    sizes = {
+        "greedy": ((8, 8), (64, 8)),
+        "lp": ((8, 8), (64, 8)),
+        "bnb": ((8, 8),),
+        "highs": ((8, 8), (16, 8)),
+    }
+    for backend, shapes in sizes.items():
+        for n_frag, n_work in shapes:
+            name = f"solver.{backend}.{n_frag}x{n_work}"
+
+            def setup(backend=backend, n_frag=n_frag, n_work=n_work):
+                from repro.core.milp import make_solver
+
+                solver = make_solver(backend)
+                problem = _random_problem(n_frag, n_work)
+                return lambda: solver.solve(problem)
+
+            BENCH_CASES[name] = BenchCase(
+                name=name, setup=setup,
+                meta={"backend": backend, "fragments": n_frag,
+                      "workers": n_work},
+            )
+
+
+_register_solver_cases()
+
+
+@bench_case("assembly.dense.64x8", fragments=64, workers=8)
+def _assembly_dense():
+    from repro.core.milp import _assemble_constraints
+
+    problem = _random_problem(64, 8)
+    return lambda: _assemble_constraints(problem)
+
+
+@bench_case("assembly.sparse.64x8", fragments=64, workers=8)
+def _assembly_sparse():
+    from repro.core.milp import _assemble_constraints
+
+    problem = _random_problem(64, 8)
+    return lambda: _assemble_constraints(problem, use_sparse=True)
+
+
+def _pricing_fixture(n_frag: int = 64, n_gpus: int = 8):
+    """A synthetic 8-GPU x ``n_frag``-fragment plan-pricing workload.
+
+    Every (fragment, worker) pair gets a chunk — the worst-case chunk
+    count FSteal can produce — with a quarter of the chunks stolen.
+    """
+    from repro.graph import generators
+    from repro.hardware import dgx1
+    from repro.hardware.timing import TimingModel
+    from repro.partition.partitioners import random_partition
+    from repro.runtime.bsp import BSPEngine
+    from repro.runtime.frontier import Frontier
+    from repro.runtime.scheduler import (
+        IterationPlan,
+        RunContext,
+        WorkChunk,
+    )
+
+    graph = generators.rmat(11, 8, seed=3)
+    topology = dgx1(n_gpus)
+    engine = BSPEngine(topology)
+    partition = random_partition(graph, n_gpus, seed=0)
+    rng = np.random.default_rng(0)
+    fragment_home = rng.integers(0, n_gpus, size=n_frag)
+    context = RunContext(
+        graph=graph,
+        partition=partition,
+        timing=TimingModel(topology),
+        fragment_home=fragment_home,
+        fragment_worker=fragment_home.copy(),
+    )
+    frontiers = [
+        Frontier(rng.integers(0, graph.num_vertices, size=48))
+        for __ in range(n_frag)
+    ]
+    features = [f.features(graph) for f in frontiers]
+    chunks = []
+    for owner in range(n_frag):
+        vertices = frontiers[owner].vertices
+        for worker in range(n_gpus):
+            chunks.append(WorkChunk(
+                owner=owner,
+                worker=worker,
+                vertices=vertices[: max(1, vertices.size // n_gpus)],
+                edges=int(rng.integers(1, 2000)),
+                hub_edges=int(rng.integers(0, 100)),
+            ))
+    plan = IterationPlan(chunks=chunks,
+                         active_workers=list(range(n_gpus)))
+    return engine, plan, features, context, n_gpus
+
+
+@bench_case("pricing.chunks.64x8", fragments=64, workers=8, chunks=512)
+def _pricing_case():
+    engine, plan, features, context, n_gpus = _pricing_fixture()
+    return lambda: engine._price_chunks(plan, features, context, n_gpus)
+
+
+def _iteration_case(algorithm: str, iterations: int):
+    def setup():
+        from repro.bench.runner import Cell, run_cell
+        from repro.core import GumConfig
+
+        config = GumConfig(cost_model="oracle")
+
+        def run():
+            return run_cell(
+                Cell("gum", algorithm, "TX", 8),
+                gum_config=config,
+                max_iterations=iterations,
+            )
+
+        return lambda: run()
+
+    return setup
+
+
+BENCH_CASES["engine.bfs.TX.8gpu"] = BenchCase(
+    name="engine.bfs.TX.8gpu",
+    setup=_iteration_case("bfs", 40),
+    meta={"algorithm": "bfs", "graph": "TX", "iterations": 40,
+          "unit": "seconds per 40 iterations"},
+)
+BENCH_CASES["engine.pr.TX.8gpu"] = BenchCase(
+    name="engine.pr.TX.8gpu",
+    setup=_iteration_case("pr", 5),
+    meta={"algorithm": "pr", "graph": "TX", "iterations": 5,
+          "unit": "seconds per 5 iterations"},
+)
+
+
+def _predict_case(family: str, rows: int = 4096):
+    def setup():
+        from repro.core.costmodel import MODEL_FAMILIES
+
+        rng = np.random.default_rng(1)
+        train = rng.uniform(0.0, 200.0, size=(512, 6))
+        costs = np.exp(rng.normal(-20.0, 0.4, size=512))
+        model = MODEL_FAMILIES[family]()
+        model.fit(train, costs)
+        batch = rng.uniform(0.0, 200.0, size=(rows, 6))
+        return lambda: model.predict(batch)
+
+    return setup
+
+
+for _family in ("tree", "polynomial"):
+    _name = f"costmodel.{_family}.predict4096"
+    _meta = {"family": _family, "rows": 4096}
+    if _family == "polynomial":
+        # BLAS-bound and frequency-sensitive: observed ~1.4x run-to-run
+        # swings on an otherwise idle host, so the default 30% gate
+        # would flag noise.  It is a comparison point, not one of the
+        # vectorized hot-path targets, so it gets a wider band.
+        _meta["bench_threshold"] = 0.6
+    BENCH_CASES[_name] = BenchCase(
+        name=_name, setup=_predict_case(_family),
+        meta=_meta,
+    )
+
+
+# ----------------------------------------------------------------------
+# Suite driver / report IO
+# ----------------------------------------------------------------------
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 5,
+    min_seconds: float = 0.02,
+) -> dict:
+    """Run (a filtered subset of) the registered cases; return a report.
+
+    ``names`` entries match case names by substring. The report maps
+    each case to raw per-call ``seconds`` and a machine-normalized
+    ``score`` (seconds / calibration seconds).
+    """
+    selected = [
+        case for name, case in sorted(BENCH_CASES.items())
+        if not names or any(token in name for token in names)
+    ]
+    if not selected:
+        raise ReproError(
+            f"no benchmark case matches {list(names or [])!r}; "
+            f"known: {sorted(BENCH_CASES)}"
+        )
+    calibration = measure_calibration(repeats=repeats)
+    benchmarks = {}
+    for case in selected:
+        fn = case.setup()
+        timing = time_callable(fn, repeats=repeats,
+                               min_seconds=min_seconds)
+        benchmarks[case.name] = {
+            "seconds": timing.seconds,
+            "score": timing.seconds / calibration,
+            "calls": timing.calls,
+            "repeats": timing.repeats,
+            "meta": dict(case.meta),
+        }
+    return {
+        "schema": SCHEMA,
+        "calibration_seconds": calibration,
+        "benchmarks": benchmarks,
+    }
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Regression]:
+    """Normalized-score regressions of ``current`` against ``baseline``.
+
+    Cases present only on one side are ignored (new benchmarks must be
+    committable without a flag day).  A case regresses only when BOTH
+    its machine-normalized score AND its raw per-call seconds exceed
+    the baseline by more than ``threshold``: the score ratio transfers
+    the committed baseline across hosts of different speed, while the
+    seconds ratio filters out calibration jitter (a noisy calibration
+    run inflates every score by the same factor without any benchmark
+    actually slowing down).
+    """
+    for report in (current, baseline):
+        if report.get("schema") != SCHEMA:
+            raise ReproError(
+                f"unsupported bench report schema {report.get('schema')!r}"
+            )
+    regressions = []
+    for name, entry in sorted(current["benchmarks"].items()):
+        base = baseline["benchmarks"].get(name)
+        if base is None:
+            continue
+        ratio = entry["score"] / max(base["score"], 1e-12)
+        raw_ratio = entry["seconds"] / max(base["seconds"], 1e-12)
+        # A case may widen its own band via ``bench_threshold`` meta
+        # (e.g. BLAS-bound cases with large run-to-run variance).
+        bar = max(threshold,
+                  float(entry.get("meta", {}).get("bench_threshold", 0.0)))
+        if ratio > 1.0 + bar and raw_ratio > 1.0 + bar:
+            regressions.append(Regression(
+                name=name,
+                baseline_score=base["score"],
+                current_score=entry["score"],
+                ratio=ratio,
+            ))
+    return regressions
+
+
+def confirm_regressions(
+    regressions: Sequence[Regression],
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    repeats: int = 5,
+    min_seconds: float = 0.02,
+) -> List[Regression]:
+    """Re-measure regressed cases and keep only reproducible ones.
+
+    Wall-clock microbenchmarks on shared hosts see transient >30%
+    swings from CPU contention and frequency scaling.  A real code
+    regression reproduces on a fresh measurement (including a fresh
+    calibration run); a noise spike almost never does.  The gate
+    therefore re-runs only the offending cases and confirms each
+    regression before failing.
+    """
+    if not regressions:
+        return []
+    retry = run_suite(
+        names=[reg.name for reg in regressions],
+        repeats=repeats,
+        min_seconds=min_seconds,
+    )
+    return compare_reports(retry, baseline, threshold=threshold)
+
+
+def write_report(report: dict, path) -> None:
+    """Write a report as indented JSON (trailing newline included)."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path) -> dict:
+    """Read a report written by :func:`write_report`."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one report."""
+    lines = [
+        f"{'case':34s} {'per call':>12s} {'score':>10s} {'calls':>6s}",
+    ]
+    for name, entry in sorted(report["benchmarks"].items()):
+        seconds = entry["seconds"]
+        unit = (
+            f"{seconds * 1e6:10.1f} us" if seconds < 1e-3
+            else f"{seconds * 1e3:10.2f} ms"
+        )
+        lines.append(
+            f"{name:34s} {unit:>12s} {entry['score']:10.3f} "
+            f"{entry['calls']:6d}"
+        )
+    lines.append(
+        f"calibration: {report['calibration_seconds'] * 1e3:.3f} ms/call"
+    )
+    return "\n".join(lines)
+
+
+def format_regressions(regressions: Sequence[Regression]) -> str:
+    """Human-readable regression list (empty string when clean)."""
+    if not regressions:
+        return ""
+    lines = ["benchmark regressions (normalized score vs baseline):"]
+    for reg in regressions:
+        lines.append(
+            f"  {reg.name}: {reg.baseline_score:.3f} -> "
+            f"{reg.current_score:.3f}  ({reg.ratio:.2f}x)"
+        )
+    return "\n".join(lines)

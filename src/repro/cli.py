@@ -290,6 +290,62 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmarks; gate against the baseline.
+
+    Exit code 1 means at least one case regressed by more than the
+    threshold on its machine-normalized score (see
+    ``docs/performance.md`` for the normalization and how to refresh
+    the committed baseline).
+    """
+    from repro.bench import perfharness
+
+    report = perfharness.run_suite(
+        names=args.filter, repeats=args.repeats
+    )
+    out_path = _trace_path(args.out)
+    perfharness.write_report(report, out_path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(perfharness.format_report(report))
+        print(f"report: {out_path}")
+    if args.update_baseline:
+        perfharness.write_report(report, _trace_path(args.baseline))
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+    if args.no_compare:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {args.baseline}; skipping the gate "
+              "(run with --update-baseline to create one)")
+        return 0
+    threshold = (
+        perfharness.DEFAULT_THRESHOLD
+        if args.threshold is None else args.threshold
+    )
+    baseline = perfharness.load_report(baseline_path)
+    regressions = perfharness.compare_reports(
+        report, baseline, threshold=threshold,
+    )
+    if regressions:
+        print("re-measuring "
+              f"{len(regressions)} regressed case(s) to rule out "
+              "host noise...")
+        regressions = perfharness.confirm_regressions(
+            regressions, baseline, threshold=threshold,
+            repeats=args.repeats,
+        )
+    if regressions:
+        print(perfharness.format_regressions(regressions),
+              file=sys.stderr)
+        return 1
+    print(f"gate: ok (no case regressed >{threshold:.0%} vs "
+          f"{args.baseline})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -389,6 +445,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the ASCII per-GPU timeline",
     )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the hot-path microbenchmark suite and gate against "
+             "the committed baseline",
+    )
+    p_bench.add_argument(
+        "--out", metavar="PATH", default="BENCH_hotpath.json",
+        help="machine-readable report output (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/perf/baseline.json",
+        help="committed baseline to gate against (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="normalized-score regression tolerance "
+             "(default: 0.30 = fail on >30%% regression)",
+    )
+    p_bench.add_argument(
+        "--filter", action="append", default=None, metavar="SUBSTR",
+        help="only run cases whose name contains SUBSTR (repeatable)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per case (best-of; default %(default)s)",
+    )
+    p_bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the fresh report over --baseline instead of "
+             "comparing against it",
+    )
+    p_bench.add_argument(
+        "--no-compare", action="store_true",
+        help="measure and write the report without gating",
+    )
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the report JSON instead of a table")
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -43,7 +43,6 @@ from repro.core.milp import FStealProblem, make_solver
 from repro.core.osteal import plan_osteal
 from repro.core.reduction_tree import ReductionTree
 from repro.errors import EngineError
-from repro.graph.features import frontier_features
 from repro.hardware.microbench import measure_comm_cost_matrix
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord
@@ -208,8 +207,10 @@ class GumScheduler(Scheduler):
         started = time.perf_counter()
         modeled_overhead = 0.0
         num_workers = context.num_workers
+        # memoized on the frontier objects: the engine prices the plan
+        # from these same features, so the scan happens exactly once
         features = [
-            frontier_features(context.graph, frontier.vertices)
+            frontier.features(context.graph)
             for frontier in fragment_frontiers
         ]
         # feature extraction is a scan over active vertices (Exp-3)

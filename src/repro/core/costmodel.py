@@ -360,6 +360,11 @@ class DecisionTreeModel(CostModel):
         self._num_thresholds = int(num_thresholds)
         self._nodes: List[tuple] = []  # (feature, threshold, left, right)
         #   leaves are (-1, value, -1, -1)
+        # columnar mirror of _nodes for batched prediction
+        self._node_feature: Optional[np.ndarray] = None
+        self._node_value: Optional[np.ndarray] = None
+        self._node_left: Optional[np.ndarray] = None
+        self._node_right: Optional[np.ndarray] = None
 
     def fit(self, features: np.ndarray, costs: np.ndarray) -> FitReport:
         """Train on feature rows and per-edge costs (seconds)."""
@@ -368,6 +373,7 @@ class DecisionTreeModel(CostModel):
         log_target = np.log(costs * _NS)
         self._nodes = []
         self._build(features, log_target, depth=0)
+        self._columnize()
         train_time = time.perf_counter() - start
         return FitReport(
             self.name, train_time, rmsre(self.predict(features), costs)
@@ -410,21 +416,46 @@ class DecisionTreeModel(CostModel):
         self._nodes[node_id] = (feature, float(threshold), left_id, right_id)
         return node_id
 
+    def _columnize(self) -> None:
+        """Mirror ``_nodes`` into parallel arrays for batched traversal."""
+        nodes = self._nodes
+        self._node_feature = np.array(
+            [n[0] for n in nodes], dtype=np.int64
+        )
+        self._node_value = np.array([n[1] for n in nodes])
+        self._node_left = np.array([n[2] for n in nodes], dtype=np.int64)
+        self._node_right = np.array([n[3] for n in nodes], dtype=np.int64)
+
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Predict per-edge costs (seconds) for feature rows."""
+        """Predict per-edge costs (seconds) for feature rows.
+
+        All rows descend the tree together, one level per pass: rows
+        still at internal nodes compare their split feature and hop to
+        a child, rows at leaves stay put. At most ``max_depth`` passes
+        of O(rows) numpy work instead of a Python loop per row.
+        """
         if not self._nodes:
             raise CostModelError("model used before fit")
+        if self._node_feature is None:
+            self._columnize()  # tree built before columnar mirror existed
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
-        out = np.empty(features.shape[0])
-        for row in range(features.shape[0]):
-            node = 0
-            while True:
-                feature, value, left, right = self._nodes[node]
-                if feature < 0:
-                    out[row] = value
-                    break
-                node = left if features[row, feature] <= value else right
-        return np.exp(out) / _NS
+        num_rows = features.shape[0]
+        position = np.zeros(num_rows, dtype=np.int64)
+        rows = np.arange(num_rows)
+        while True:
+            split = self._node_feature[position]
+            active = split >= 0
+            if not np.any(active):
+                break
+            at = position[active]
+            go_left = (
+                features[rows[active], split[active]]
+                <= self._node_value[at]
+            )
+            position[active] = np.where(
+                go_left, self._node_left[at], self._node_right[at]
+            )
+        return np.exp(self._node_value[position]) / _NS
 
 
 # ----------------------------------------------------------------------
@@ -493,7 +524,12 @@ class KernelRidgeModel(CostModel):
             + (sample**2).sum(axis=1)[None, :]
             - 2.0 * sample @ sample.T
         )
-        median_sq = float(np.median(dists[dists > 0])) or 1.0
+        positive = dists[dists > 0]
+        # all-duplicate rows leave no positive distances; the median of
+        # the empty slice is nan (which is truthy — `or 1.0` won't fire)
+        median_sq = float(np.median(positive)) if positive.size else 1.0
+        if not np.isfinite(median_sq) or median_sq <= 0.0:
+            median_sq = 1.0
         self._gamma = 1.0 / median_sq
         gram = self._kernel(scaled, scaled)
         gram[np.diag_indices_from(gram)] += self._alpha

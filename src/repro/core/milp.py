@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Type
+from typing import Dict, Type, Union
 
 import numpy as np
+from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
 
 from repro.errors import SolverError
@@ -257,53 +258,6 @@ class GreedySolver(FStealSolver):
             finish[straggler] -= costs[i, straggler] * move
             finish[j] += costs[i, j] * move
 
-    def _refine(
-        self,
-        problem: FStealProblem,
-        assignment: np.ndarray,
-        finish: np.ndarray,
-    ) -> None:
-        """Shift edges from the straggler to cheaper workers, in place."""
-        costs = problem.costs
-        for __ in range(self._refine_steps):
-            straggler = int(np.argmax(finish))
-            peak = finish[straggler]
-            if peak <= 0:
-                return
-            best_gain = 0.0
-            best_move: tuple[int, int, int] | None = None
-            donors = np.flatnonzero(assignment[:, straggler] > 0)
-            for i in donors.tolist():
-                c_from = costs[i, straggler]
-                for j in np.flatnonzero(np.isfinite(costs[i])).tolist():
-                    if j == straggler:
-                        continue
-                    c_to = costs[i, j]
-                    gap = peak - finish[j]
-                    if gap <= 0:
-                        continue
-                    # equalize the pair: move until both finish together
-                    move = int(min(
-                        assignment[i, straggler],
-                        max(1, int(gap / (c_from + c_to))),
-                    ))
-                    if move <= 0:
-                        continue
-                    new_peak_pair = max(
-                        peak - c_from * move, finish[j] + c_to * move
-                    )
-                    gain = peak - new_peak_pair
-                    if gain > best_gain:
-                        best_gain = gain
-                        best_move = (i, j, move)
-            if best_move is None or best_gain <= peak * 1e-4:
-                return
-            i, j, move = best_move
-            assignment[i, straggler] -= move
-            assignment[i, j] += move
-            finish[straggler] -= costs[i, straggler] * move
-            finish[j] += costs[i, j] * move
-
 
 # ----------------------------------------------------------------------
 def _cost_scale(costs: np.ndarray) -> float:
@@ -320,6 +274,82 @@ def _cost_scale(costs: np.ndarray) -> float:
     return float(finite.max())
 
 
+@dataclass(frozen=True)
+class _ConstraintSystem:
+    """Assembled epigraph formulation shared by all LP/MILP backends.
+
+    Variables are one ``x_ij`` per allowed (fragment, worker) pair in
+    row-major order, plus the epigraph variable ``z`` last. Costs are
+    divided by ``scale`` (see :func:`_cost_scale`); the achieved ``z``
+    must be multiplied back.
+    """
+
+    c: np.ndarray
+    a_ub: Union[np.ndarray, sparse.csr_array]
+    b_ub: np.ndarray
+    a_eq: Union[np.ndarray, sparse.csr_array]
+    b_eq: np.ndarray
+    allowed: np.ndarray
+    num_x: int
+    scale: float
+
+
+def _assemble_constraints(
+    problem: FStealProblem, use_sparse: bool = False
+) -> _ConstraintSystem:
+    """Build the shared constraint system, fully vectorized.
+
+    Inequality rows (one per worker ``j``): ``sum_i c_ij x_ij - z <= 0``.
+    Equality rows (one per fragment with work): ``sum_j x_ij = l_i``.
+    ``use_sparse`` emits ``scipy.sparse`` matrices — the constraint
+    matrix has only one x-column entry per allowed pair, so density
+    falls off linearly with problem size.
+    """
+    scale = _cost_scale(problem.costs)
+    costs, workloads = problem.costs / scale, problem.workloads
+    n_frag, n_work = problem.num_fragments, problem.num_workers
+    allowed = np.isfinite(costs) & (workloads[:, None] > 0)
+    # np.nonzero is row-major: identical variable order to the legacy
+    # nested (i, j) loops, so solver outputs stay bit-identical
+    frag_idx, work_idx = np.nonzero(allowed)
+    num_x = int(frag_idx.size)
+    num_vars = num_x + 1  # + z
+    c = np.zeros(num_vars)
+    c[-1] = 1.0
+    b_ub = np.zeros(n_work)
+    rows = np.flatnonzero(workloads > 0)
+    row_of_fragment = np.full(n_frag, -1, dtype=np.int64)
+    row_of_fragment[rows] = np.arange(rows.size)
+    b_eq = workloads[rows].astype(np.float64)
+    var_ids = np.arange(num_x)
+    coefficients = costs[frag_idx, work_idx]
+    if use_sparse:
+        a_ub = sparse.csr_array(
+            (
+                np.concatenate([coefficients, -np.ones(n_work)]),
+                (
+                    np.concatenate([work_idx, np.arange(n_work)]),
+                    np.concatenate([var_ids, np.full(n_work, num_x)]),
+                ),
+            ),
+            shape=(n_work, num_vars),
+        )
+        a_eq = sparse.csr_array(
+            (np.ones(num_x), (row_of_fragment[frag_idx], var_ids)),
+            shape=(rows.size, num_vars),
+        )
+    else:
+        a_ub = np.zeros((n_work, num_vars))
+        a_ub[work_idx, var_ids] = coefficients
+        a_ub[:, -1] = -1.0
+        a_eq = np.zeros((rows.size, num_vars))
+        a_eq[row_of_fragment[frag_idx], var_ids] = 1.0
+    return _ConstraintSystem(
+        c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        allowed=allowed, num_x=num_x, scale=scale,
+    )
+
+
 def _lp_relaxation(
     problem: FStealProblem,
 ) -> tuple[np.ndarray, float, np.ndarray]:
@@ -327,47 +357,23 @@ def _lp_relaxation(
 
     Variables: one per allowed (i, j) pair plus the epigraph variable z.
     """
-    scale = _cost_scale(problem.costs)
-    costs, workloads = problem.costs / scale, problem.workloads
-    n_frag, n_work = problem.num_fragments, problem.num_workers
-    allowed = np.isfinite(costs) & (workloads[:, None] > 0)
-    var_index = -np.ones((n_frag, n_work), dtype=np.int64)
-    var_index[allowed] = np.arange(int(allowed.sum()))
-    num_x = int(allowed.sum())
-    if num_x == 0:
-        return np.zeros((n_frag, n_work)), 0.0, allowed
-    num_vars = num_x + 1  # + z
-    c = np.zeros(num_vars)
-    c[-1] = 1.0
-
-    # inequality rows: sum_i c_ij x_ij - z <= 0 for each worker j
-    a_ub = np.zeros((n_work, num_vars))
-    for i in range(n_frag):
-        for j in range(n_work):
-            if allowed[i, j]:
-                a_ub[j, var_index[i, j]] = costs[i, j]
-    a_ub[:, -1] = -1.0
-    b_ub = np.zeros(n_work)
-
-    # equality rows: sum_j x_ij = l_i for each fragment with work
-    rows = [i for i in range(n_frag) if workloads[i] > 0]
-    a_eq = np.zeros((len(rows), num_vars))
-    for r, i in enumerate(rows):
-        for j in range(n_work):
-            if allowed[i, j]:
-                a_eq[r, var_index[i, j]] = 1.0
-    b_eq = workloads[rows].astype(np.float64)
-
-    bounds = [(0, None)] * num_x + [(0, None)]
+    system = _assemble_constraints(problem)
+    if system.num_x == 0:
+        return (
+            np.zeros((problem.num_fragments, problem.num_workers)),
+            0.0,
+            system.allowed,
+        )
     res = linprog(
-        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
-        method="highs",
+        system.c, A_ub=system.a_ub, b_ub=system.b_ub,
+        A_eq=system.a_eq, b_eq=system.b_eq,
+        bounds=(0, None), method="highs",
     )
     if not res.success:
         raise SolverError(f"LP relaxation failed: {res.message}")
-    x = np.zeros((n_frag, n_work))
-    x[allowed] = res.x[:num_x]
-    return x, float(res.x[-1]) * scale, allowed
+    x = np.zeros((problem.num_fragments, problem.num_workers))
+    x[system.allowed] = res.x[: system.num_x]
+    return x, float(res.x[-1]) * system.scale, system.allowed
 
 
 def _round_lp(problem: FStealProblem, fractional: np.ndarray) -> np.ndarray:
@@ -381,10 +387,23 @@ def _round_lp(problem: FStealProblem, fractional: np.ndarray) -> np.ndarray:
             top = np.argsort(-remainders)[:deficit]
             assignment[i, top] += 1
         elif deficit < 0:
-            donors = np.flatnonzero(assignment[i] > 0)
-            order = np.argsort(fractional[i, donors] - assignment[i, donors])
-            for idx in order[: -deficit]:
-                assignment[i, donors[idx]] -= 1
+            # repay one unit per donor per pass (most over-assigned
+            # first) until the row conserves its workload — a single
+            # pass under-repays whenever -deficit > len(donors)
+            need = -deficit
+            while need > 0:
+                donors = np.flatnonzero(assignment[i] > 0)
+                if donors.size == 0:
+                    raise SolverError(
+                        "rounding cannot repay over-assignment "
+                        f"for fragment {i}"
+                    )
+                order = np.argsort(
+                    fractional[i, donors] - assignment[i, donors]
+                )
+                for idx in order[:need]:
+                    assignment[i, donors[idx]] -= 1
+                need = int(assignment[i].sum() - problem.workloads[i])
     return assignment
 
 
@@ -461,47 +480,23 @@ class HiGHSSolver(FStealSolver):
         """Return a feasible integral solution."""
         if problem.workloads.sum() == 0:
             return _no_work_solution(problem, self.name)
-        scale = _cost_scale(problem.costs)
-        costs, workloads = problem.costs / scale, problem.workloads
-        n_frag, n_work = problem.num_fragments, problem.num_workers
-        allowed = np.isfinite(costs) & (workloads[:, None] > 0)
-        var_index = -np.ones((n_frag, n_work), dtype=np.int64)
-        num_x = int(allowed.sum())
-        var_index[allowed] = np.arange(num_x)
-        num_vars = num_x + 1
-        c = np.zeros(num_vars)
-        c[-1] = 1.0
-        constraints = []
-
-        a_ub = np.zeros((n_work, num_vars))
-        for i in range(n_frag):
-            for j in range(n_work):
-                if allowed[i, j]:
-                    a_ub[j, var_index[i, j]] = costs[i, j]
-        a_ub[:, -1] = -1.0
-        constraints.append(LinearConstraint(a_ub, -np.inf, 0.0))
-
-        rows = [i for i in range(n_frag) if workloads[i] > 0]
-        a_eq = np.zeros((len(rows), num_vars))
-        for r, i in enumerate(rows):
-            for j in range(n_work):
-                if allowed[i, j]:
-                    a_eq[r, var_index[i, j]] = 1.0
-        target = workloads[rows].astype(np.float64)
-        constraints.append(LinearConstraint(a_eq, target, target))
-
-        integrality = np.ones(num_vars)
+        system = _assemble_constraints(problem, use_sparse=True)
+        constraints = [
+            LinearConstraint(system.a_ub, -np.inf, system.b_ub),
+            LinearConstraint(system.a_eq, system.b_eq, system.b_eq),
+        ]
+        integrality = np.ones(system.num_x + 1)
         integrality[-1] = 0.0  # z is continuous
         res = milp(
-            c,
+            system.c,
             constraints=constraints,
             integrality=integrality,
             bounds=Bounds(lb=0.0),
         )
         if not res.success:
             raise SolverError(f"MILP solve failed: {res.message}")
-        x = np.zeros((n_frag, n_work))
-        x[allowed] = res.x[:num_x]
+        x = np.zeros((problem.num_fragments, problem.num_workers))
+        x[system.allowed] = res.x[: system.num_x]
         return self._finish(problem, x)
 
 

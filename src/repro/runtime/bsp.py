@@ -39,8 +39,6 @@ import numpy as np
 from repro import config
 from repro.errors import EngineError
 from repro.graph.csr import CSRGraph
-from repro.graph.features import frontier_features
-from repro.graph.gather import gather_edges
 from repro.hardware.spec import MachineSpec
 from repro.hardware.timing import TimingModel
 from repro.hardware.topology import Topology
@@ -191,7 +189,11 @@ class BSPEngine:
                 f"partition has {partition.num_fragments} fragments but "
                 f"machine has {self._topology.num_gpus} GPUs"
             )
-        limit = max_iterations or self._options.max_iterations
+        limit = (
+            self._options.max_iterations
+            if max_iterations is None
+            else max_iterations
+        )
         num_workers = self._topology.num_gpus
 
         context = RunContext(
@@ -279,37 +281,16 @@ class BSPEngine:
         # features — the same W_i granularity the paper's c_ij uses.
         # This keeps pricing identical across engines even when the
         # effective workload is decoupled from the frontier (pull-mode
-        # BFS, near-far discounts).
+        # BFS, near-far discounts). Features are memoized on the
+        # frontier objects, so the scheduler's own feature scan (the
+        # GUM arbitrator prices c_ij from the same fragments) is not
+        # repeated here.
         fragment_features = [
-            frontier_features(graph, f.vertices)
-            for f in fragment_frontiers
+            f.features(graph) for f in fragment_frontiers
         ]
-        busy = np.zeros(num_workers)
-        compute_part = np.zeros(num_workers)
-        comm_part = np.zeros(num_workers)
-        for chunk in plan.chunks:
-            if chunk.edges == 0:
-                continue
-            features = fragment_features[chunk.owner]
-            compute = self._timing.compute_seconds(chunk.edges, features)
-            home = int(context.fragment_home[chunk.owner])
-            remote_edges = chunk.edges - chunk.hub_edges
-            comm = remote_edges * self._timing.comm_seconds_per_edge(
-                home, chunk.worker
-            ) + chunk.hub_edges * self._timing.comm_seconds_per_edge(
-                chunk.worker, chunk.worker
-            )
-            if chunk.worker != home:
-                # frontier-status migration: stolen vertex ids + values
-                comm += self._timing.transfer_seconds(
-                    home, chunk.worker,
-                    chunk.vertices.size * config.BYTES_PER_VERTEX,
-                )
-            if self._options.kernel_per_chunk:
-                compute += self._timing.kernel_launch_seconds(1)
-            busy[chunk.worker] += compute + comm
-            compute_part[chunk.worker] += compute
-            comm_part[chunk.worker] += comm
+        busy, compute_part, comm_part = self._price_chunks(
+            plan, fragment_features, context, num_workers
+        )
 
         active = sorted(set(plan.active_workers))
         if not active:
@@ -363,6 +344,62 @@ class BSPEngine:
         )
         self._scheduler.observe(record, context)
         return record
+
+    # ------------------------------------------------------------------
+    def _price_chunks(
+        self,
+        plan: IterationPlan,
+        fragment_features: list,
+        context: RunContext,
+        num_workers: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Price every chunk of the plan, vectorized over chunk arrays.
+
+        Returns per-worker ``(busy, compute, comm)`` seconds. The math
+        is the per-chunk recurrence from the module docstring; the
+        ground-truth ``g*`` is evaluated once per *fragment* (it is a
+        deterministic function of the fragment's features), then
+        broadcast over that fragment's chunks.
+        """
+        busy = np.zeros(num_workers)
+        compute_part = np.zeros(num_workers)
+        comm_part = np.zeros(num_workers)
+        chunks = [c for c in plan.chunks if c.edges != 0]
+        if not chunks:
+            return busy, compute_part, comm_part
+        owners = np.array([c.owner for c in chunks], dtype=np.int64)
+        workers = np.array([c.worker for c in chunks], dtype=np.int64)
+        edges = np.array([c.edges for c in chunks], dtype=np.float64)
+        hub_edges = np.array(
+            [c.hub_edges for c in chunks], dtype=np.float64
+        )
+        migrate_bytes = np.array(
+            [c.vertices.size for c in chunks], dtype=np.float64
+        ) * config.BYTES_PER_VERTEX
+        homes = context.fragment_home[owners]
+        device = self._timing.device_model
+        edge_cost = np.array(
+            [device.true_edge_cost(f) for f in fragment_features]
+        )
+        compute = edges * edge_cost[owners]
+        per_edge = self._timing.comm_per_edge_matrix()
+        comm = (
+            (edges - hub_edges) * per_edge[homes, workers]
+            + hub_edges * per_edge[workers, workers]
+        )
+        stolen = workers != homes
+        if np.any(stolen):
+            # frontier-status migration: stolen vertex ids + values
+            bandwidth_gbps = self._topology.effective_bandwidth_matrix()[
+                homes[stolen], workers[stolen]
+            ]
+            comm[stolen] += migrate_bytes[stolen] / (bandwidth_gbps * 1e9)
+        if self._options.kernel_per_chunk:
+            compute = compute + self._timing.kernel_launch_seconds(1)
+        np.add.at(busy, workers, compute + comm)
+        np.add.at(compute_part, workers, compute)
+        np.add.at(comm_part, workers, comm)
+        return busy, compute_part, comm_part
 
     # ------------------------------------------------------------------
     # Hooks for engine models with algorithm-specific behaviour
@@ -442,7 +479,9 @@ class BSPEngine:
         """
         if frontier.size == 0:
             return 0.0, 0.0
-        sources, destinations, __ = gather_edges(graph, frontier.vertices)
+        # the gather is memoized on the frontier: the algorithm step
+        # expanding the same frontier reuses it instead of re-gathering
+        sources, destinations, __ = frontier.gather(graph)
         if sources.size == 0:
             return 0.0, 0.0
         worker_of = context.fragment_worker[partition.owner]

@@ -5,15 +5,26 @@ the paper's ``f_k`` and the unit of work FSteal redistributes. We keep
 frontiers as *sorted unique* ``int64`` arrays: cheap set algebra via
 merges, and the sorted order is what Algorithm 1's prefix-sum /
 sorted-search vertex selection expects.
+
+Frontiers also memoize their per-graph derived quantities — workload,
+Table-I features, and the flattened out-edge gather. Several consumers
+touch the same frontier every superstep (the stealing arbitrator, the
+engine's plan pricing, the message-cost model, and the algorithm step
+itself); the cache makes each derived quantity a once-per-iteration
+cost instead of a per-consumer one.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.graph.gather import gather_edge_positions
+
+if TYPE_CHECKING:  # features imports nothing from runtime; cycle-safe
+    from repro.graph.features import FrontierFeatures
 
 __all__ = ["Frontier"]
 
@@ -21,7 +32,7 @@ __all__ = ["Frontier"]
 class Frontier:
     """A sorted set of active vertices with workload helpers."""
 
-    __slots__ = ("_vertices",)
+    __slots__ = ("_vertices", "_cache")
 
     def __init__(self, vertices: np.ndarray | Iterable[int] = ()) -> None:
         array = np.asarray(list(vertices) if not isinstance(
@@ -30,6 +41,7 @@ class Frontier:
             array = np.unique(array)
         array.setflags(write=False)
         self._vertices = array
+        self._cache: dict = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -39,6 +51,7 @@ class Frontier:
         array = np.ascontiguousarray(vertices, dtype=np.int64)
         array.setflags(write=False)
         frontier._vertices = array
+        frontier._cache = {}
         return frontier
 
     @staticmethod
@@ -87,11 +100,70 @@ class Frontier:
         return f"Frontier(size={self.size}, {preview}{suffix})"
 
     # ------------------------------------------------------------------
+    # Memoized per-graph derived quantities
+    # ------------------------------------------------------------------
+    def _memo(self, key: str, graph: CSRGraph, compute):
+        """Per-(key, graph) memo; entries pin the graph they belong to."""
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] is graph:
+            return entry[1]
+        value = compute()
+        self._cache[key] = (graph, value)
+        return value
+
     def work(self, graph: CSRGraph) -> int:
         """Total out-edges of the frontier — the workload ``l`` of FSteal."""
         if self.size == 0:
             return 0
-        return int(graph.out_degrees(self._vertices).sum())
+        return self._memo(
+            "work", graph,
+            lambda: int(graph.out_degrees(self._vertices).sum()),
+        )
+
+    def features(self, graph: CSRGraph) -> "FrontierFeatures":
+        """Table-I features of this frontier, computed at most once.
+
+        The arbitrator prices FSteal coefficients from these and the
+        engine prices the resulting plan from the *same* objects — one
+        feature scan per fragment per superstep, as Exp-3's overhead
+        budget requires.
+        """
+        from repro.graph.features import frontier_features
+
+        return self._memo(
+            "features", graph,
+            lambda: frontier_features(graph, self._vertices),
+        )
+
+    def edge_positions(
+        self, graph: CSRGraph
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized :func:`gather_edge_positions` of this frontier.
+
+        Both the algorithm step and the engine's message-cost model
+        expand the same frontier; sharing the gather halves the
+        per-iteration adjacency traffic.
+        """
+        return self._memo(
+            "edge_positions", graph,
+            lambda: gather_edge_positions(graph, self._vertices),
+        )
+
+    def gather(
+        self, graph: CSRGraph
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Memoized flattened out-edges: (sources, destinations, weights)."""
+
+        def compute():
+            sources, positions = self.edge_positions(graph)
+            destinations = graph.indices[positions]
+            weights = (
+                graph.weights[positions]
+                if graph.weights is not None else None
+            )
+            return sources, destinations, weights
+
+        return self._memo("gather", graph, compute)
 
     def union(self, other: "Frontier") -> "Frontier":
         """Set union."""

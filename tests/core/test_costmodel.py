@@ -175,3 +175,33 @@ def test_training_is_deterministic(training_set):
     a.fit(features, costs)
     b.fit(features, costs)
     assert np.allclose(a.predict(features), b.predict(features))
+
+
+def test_kernel_ridge_constant_feature_corpus():
+    """All-duplicate training rows must not poison gamma with NaN.
+
+    Regression test: the median-heuristic bandwidth divided by the
+    median pairwise distance, which is 0 when every row is identical,
+    so gamma became inf/NaN and every prediction came out NaN.
+    """
+    rows = np.tile(np.array([4.0, 2.0, 1.0, 8.0, 3.0, 5.0]), (32, 1))
+    costs = np.full(32, 2.5e-9)
+    model = KernelRidgeModel()
+    model.fit(rows, costs)
+    assert np.isfinite(model._gamma) and model._gamma > 0
+    prediction = model.predict(rows[:4])
+    assert np.all(np.isfinite(prediction))
+    assert np.all(prediction > 0)
+    # the model should reproduce the constant corpus cost closely
+    assert prediction == pytest.approx(2.5e-9, rel=0.2)
+
+
+def test_tree_predict_batch_matches_single_rows(training_set):
+    features, costs = training_set
+    model = DecisionTreeModel()
+    model.fit(features, costs)
+    batch = model.predict(features[:64])
+    singles = np.array([
+        float(model.predict(features[i:i + 1])[0]) for i in range(64)
+    ])
+    assert np.array_equal(batch, singles)

