@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Inspecting a run: traces, timelines, and extension algorithms.
+"""Inspecting a run: timelines, critical-path analysis, the registry.
 
-Shows the observability surface of the library: run delta-stepping
-SSSP and k-core (extension algorithms beyond the paper's four),
-render the per-GPU timeline as ASCII art (the Figure-1 view), and
-export a JSON-lines trace for offline analysis.
+Walks the full observability loop on a small graph: run delta-stepping
+SSSP and k-core (extension algorithms beyond the paper's four), render
+the per-GPU timeline as ASCII art (the Figure-1 view), attribute the
+end-to-end time along the critical path, ask what-if questions, then
+archive the run in a registry and diff it against itself.
 
 Run:  python examples/inspect_a_run.py
 """
@@ -15,12 +16,11 @@ from pathlib import Path
 import numpy as np
 
 import repro
-from repro.runtime import (
-    load_trace,
-    render_timeline,
-    save_trace,
-    utilization_report,
-)
+from repro.obs import WhatIf, analyze, replay
+from repro.obs.analysis import format_replay, format_report
+from repro.runs import RunRegistry, diff_manifests, format_diff, \
+    workload_fingerprint
+from repro.runtime import render_timeline, utilization_report
 
 
 def main() -> None:
@@ -41,18 +41,44 @@ def main() -> None:
 
     # --- the timeline view (Figure 1 in a terminal) -------------------
     print(render_timeline(plain, max_iterations=6, width=32))
-
-    # --- utilization and trace export ----------------------------------
     report = utilization_report(plain)
     print("\nper-GPU utilization:",
           [f"{u:.0%}" for u in report["per_gpu_utilization"]])
+
+    # --- critical-path attribution ------------------------------------
+    attribution = analyze(plain)
+    print()
+    print(format_report(attribution))
+    bucket_sum = sum(attribution.buckets_ms.values())
+    assert abs(bucket_sum - attribution.total_ms) < 1e-6 * bucket_sum
+    # the no-op replay invariant: re-simulating changes nothing
+    noop = replay(plain)
+    assert noop.total_ms == noop.baseline_ms and noop.delta_ms == 0.0
+
+    # --- what-if: speed up the dominant straggler ---------------------
+    straggler = attribution.dominant_straggler()
+    if straggler is not None:
+        faster = replay(plain, WhatIf(gpu_compute_scale={straggler: 0.5}))
+        print(format_replay(faster))
+    print(format_replay(replay(plain, WhatIf(zero_decision_overhead=True))))
+
+    # --- archive the run and diff it against itself -------------------
     with tempfile.TemporaryDirectory() as tmp:
-        trace_path = Path(tmp) / "sssp_trace.jsonl"
-        save_trace(plain, trace_path)
-        header, records = load_trace(trace_path)
-        print(f"trace: {len(records)} iteration records "
-              f"({trace_path.stat().st_size} bytes), "
-              f"header total = {header['total_ms']:.1f} ms")
+        registry = RunRegistry(Path(tmp) / "runs")
+        run_id = registry.record_result(
+            plain,
+            workload_fingerprint(engine="gum", algorithm="sssp",
+                                 graph="CA", num_gpus=8),
+        )
+        manifest = registry.load_manifest(run_id)
+        print(f"\nrecorded {run_id} "
+              f"({len(registry.load_run_trace(run_id)[1])} trace records, "
+              f"git {manifest['fingerprint']['provenance']['git_sha'][:9]})")
+        diff = diff_manifests(manifest, manifest)
+        print(format_diff(diff, verbose=False))
+        # the archived trace analyzes identically to the live result
+        archived = analyze(registry.load_run_trace(run_id))
+        assert abs(archived.total_ms - plain.total_ms) < 1e-6 * plain.total_ms
 
     # --- k-core (extension algorithm) ----------------------------------
     social = repro.datasets.load("OR")

@@ -10,12 +10,17 @@ Examples::
     python -m repro compare --graph TX --algorithm sssp
     python -m repro profile --graph LJ --algorithm bfs --engine gum \
         --out run.trace.json
+    python -m repro run --graph TX --algorithm bfs --record
+    python -m repro runs list
+    python -m repro runs analyze latest --scale-gpu 0=0.5
+    python -m repro runs diff benchmarks/reference/tx-bfs-4gpu latest
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -27,6 +32,7 @@ from repro.algorithms import ALGORITHMS
 from repro.bench import Cell, run_cell
 from repro.bench.workloads import ENGINE_NAMES
 from repro.core import GumConfig, pretrained_default
+from repro.errors import RunRegistryError
 from repro.graph import datasets
 from repro.graph.properties import degree_summary, pseudo_diameter
 from repro.hardware import dgx1
@@ -165,6 +171,46 @@ def _make_observers(
     return tracer, metrics
 
 
+def _registry_from_args(args: argparse.Namespace):
+    """Registry at ``--runs-dir``, ``$REPRO_RUNS_DIR``, or the default."""
+    from repro.runs import RunRegistry
+
+    root = (getattr(args, "runs_dir", None)
+            or os.environ.get("REPRO_RUNS_DIR"))
+    return RunRegistry(root)
+
+
+def _workload_from_args(args: argparse.Namespace, engine: str) -> dict:
+    from repro.runs import workload_fingerprint
+
+    return workload_fingerprint(
+        engine=engine,
+        algorithm=args.algorithm,
+        graph=args.graph,
+        num_gpus=args.gpus,
+        partitioner=args.partitioner,
+        solver=args.solver,
+        cost_model=args.cost_model,
+    )
+
+
+def _maybe_record(
+    args: argparse.Namespace,
+    engine: str,
+    result: RunResult,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Optional[str]:
+    """Archive the run when ``--record`` was given; returns its id."""
+    if not getattr(args, "record", False):
+        return None
+    registry = _registry_from_args(args)
+    return registry.record_result(
+        result,
+        _workload_from_args(args, engine),
+        metrics=metrics.snapshot() if metrics is not None else None,
+    )
+
+
 def _run_one(
     args: argparse.Namespace,
     engine: str,
@@ -185,10 +231,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
     if tracer is not None:
         tracer.close()
+    run_id = _maybe_record(args, args.engine, result, metrics)
     if args.json:
         payload = result_summary(result)
         if metrics is not None:
             payload["metrics"] = metrics.snapshot()
+        if run_id:
+            payload["run_id"] = run_id
         print(json.dumps(payload, indent=2))
         return 0
     print(f"{result.engine}/{result.algorithm} on {result.graph_name} "
@@ -201,6 +250,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {bucket:13s}: {ms:10.2f} ms")
     if args.trace:
         print(f"  trace        : {args.trace}")
+    if run_id:
+        print(f"  recorded     : {run_id}")
     if metrics is not None:
         print("metrics:")
         print(json.dumps(metrics.snapshot(), indent=2))
@@ -216,6 +267,7 @@ def _engine_trace_path(base: str, engine: str) -> str:
 def _cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     snapshots = {}
+    run_ids = {}
     for engine in ENGINE_NAMES:
         trace_path = (
             _engine_trace_path(args.trace, engine) if args.trace else None
@@ -226,6 +278,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             tracer.close()
         if metrics is not None:
             snapshots[engine] = metrics.snapshot()
+        run_id = _maybe_record(args, engine, result, metrics)
+        if run_id:
+            run_ids[engine] = run_id
         rows.append((engine, result))
     best = min(rows, key=lambda row: row[1].total_seconds)[0]
     if args.json:
@@ -234,6 +289,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         }
         for engine, snapshot in snapshots.items():
             payload[engine]["metrics"] = snapshot
+        for engine, run_id in run_ids.items():
+            payload[engine]["run_id"] = run_id
         print(json.dumps(payload, indent=2))
         return 0
     print(f"{args.algorithm} on {args.graph} ({args.gpus} GPUs):")
@@ -244,6 +301,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if args.trace:
         for engine, _ in rows:
             print(f"  trace: {_engine_trace_path(args.trace, engine)}")
+    for engine, run_id in run_ids.items():
+        print(f"  recorded: {engine} -> {run_id}")
     return 0
 
 
@@ -262,11 +321,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         pretrained_default(tracer=tracer)
     result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
     tracer.close()
+    run_id = _maybe_record(args, args.engine, result, metrics)
     summary = result_summary(result)
     summary["metrics"] = metrics.snapshot()
     summary["trace"] = args.out
     if args.jsonl:
         summary["trace_jsonl"] = args.jsonl
+    if run_id:
+        summary["run_id"] = run_id
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
@@ -285,6 +347,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               "(open in Perfetto / chrome://tracing)")
         if args.jsonl:
             print(f"  span log          : {args.jsonl}")
+        if run_id:
+            print(f"  recorded          : {run_id}")
     if args.timeline:
         print(render_timeline(result))
     return 0
@@ -305,11 +369,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     out_path = _trace_path(args.out)
     perfharness.write_report(report, out_path)
+    run_id = None
+    if getattr(args, "record", False):
+        run_id = _registry_from_args(args).record_bench(report)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(perfharness.format_report(report))
         print(f"report: {out_path}")
+    if run_id:
+        print(f"recorded: {run_id}")
     if args.update_baseline:
         perfharness.write_report(report, _trace_path(args.baseline))
         print(f"baseline refreshed: {args.baseline}")
@@ -343,6 +412,131 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(f"gate: ok (no case regressed >{threshold:.0%} vs "
           f"{args.baseline})")
+    return 0
+
+
+def _cmd_runs_record(args: argparse.Namespace) -> int:
+    """Run one workload fully instrumented and archive it."""
+    metrics = MetricsRegistry()
+    result = _run_one(args, args.engine, metrics=metrics)
+    registry = _registry_from_args(args)
+    run_id = registry.record_result(
+        result,
+        _workload_from_args(args, args.engine),
+        metrics=metrics.snapshot(),
+    )
+    if args.json:
+        payload = result_summary(result)
+        payload["run_id"] = run_id
+        payload["runs_dir"] = str(registry.root)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"recorded {run_id} "
+              f"({result.total_ms:.2f} ms, "
+              f"{result.num_iterations} iterations) "
+              f"under {registry.root}")
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    registry = _registry_from_args(args)
+    manifests = registry.manifests()
+    if args.json:
+        print(json.dumps(
+            [{"id": m.get("id"), "kind": m.get("kind"),
+              "created": m.get("created"),
+              "total_ms": m.get("summary", {}).get("total_ms")}
+             for m in manifests],
+            indent=2,
+        ))
+        return 0
+    if not manifests:
+        print(f"no runs recorded under {registry.root}")
+        return 0
+    print(f"{'id':48s} {'kind':5s} {'total':>12s}  created")
+    for manifest in manifests:
+        total = manifest.get("summary", {}).get("total_ms")
+        total_text = f"{total:9.2f} ms" if total is not None else "-"
+        print(f"{manifest.get('id', '?'):48s} "
+              f"{manifest.get('kind', '?'):5s} "
+              f"{total_text:>12s}  {manifest.get('created', '?')}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    manifest = _registry_from_args(args).load_manifest(args.ref)
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _gpu_scale_pair(text: str) -> Tuple[int, float]:
+    """Parse a ``GPU=FACTOR`` what-if operand (``0=0.5``)."""
+    key, sep, value = text.replace(":", "=").partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected GPU=FACTOR (e.g. 0=0.5), got {text!r}"
+        )
+    try:
+        return int(key), float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected GPU=FACTOR (e.g. 0=0.5), got {text!r}"
+        ) from exc
+
+
+def _cmd_runs_analyze(args: argparse.Namespace) -> int:
+    """Critical-path attribution (and optional what-if) of a run."""
+    from repro.obs import analysis
+
+    source = _registry_from_args(args).load_run_trace(args.ref)
+    whatif = analysis.WhatIf(
+        gpu_compute_scale=dict(args.scale_gpu or []),
+        compute_scale=args.scale_compute,
+        zero_decision_overhead=args.zero_overhead,
+        drop_fsteal=args.drop_fsteal,
+    )
+    report = analysis.analyze(source)
+    payload = {"analysis": report.as_dict()}
+    if not whatif.is_noop():
+        outcome = analysis.replay(source, whatif)
+        payload["whatif"] = outcome.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(analysis.format_report(report))
+    if not whatif.is_noop():
+        print(analysis.format_replay(outcome))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Exit 1 when a gated metric regressed beyond the threshold."""
+    from repro.bench import perfharness
+    from repro.runs import diff_manifests, format_diff
+
+    registry = _registry_from_args(args)
+    base = registry.load_manifest(args.base)
+    current = registry.load_manifest(args.current)
+    threshold = (
+        perfharness.DEFAULT_THRESHOLD
+        if args.threshold is None else args.threshold
+    )
+    diff = diff_manifests(base, current, threshold=threshold,
+                          force=args.force)
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff, verbose=not args.quiet))
+    return 0 if diff.ok else 1
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    registry = _registry_from_args(args)
+    removed = registry.gc(keep=args.keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for run_id in removed:
+        print(f"{verb} {run_id}")
+    print(f"{verb} {len(removed)} run(s); keeping newest {args.keep}")
     return 0
 
 
@@ -410,9 +604,27 @@ def build_parser() -> argparse.ArgumentParser:
             help="collect and print the run's metrics snapshot",
         )
 
+    def add_runs_dir_arg(p: argparse.ArgumentParser) -> None:
+        """Attach the registry-location argument."""
+        p.add_argument(
+            "--runs-dir", metavar="DIR", default=None,
+            help="run registry directory (default: $REPRO_RUNS_DIR "
+                 "or .repro/runs)",
+        )
+
+    def add_record_args(p: argparse.ArgumentParser) -> None:
+        """Attach the run-registry recording arguments."""
+        p.add_argument(
+            "--record", action="store_true",
+            help="archive this run (manifest + trace + timeseries) "
+                 "in the run registry",
+        )
+        add_runs_dir_arg(p)
+
     p_run = sub.add_parser("run", help="run one engine on one workload")
     add_run_args(p_run)
     add_obs_args(p_run)
+    add_record_args(p_run)
     p_run.add_argument("--engine", default="gum",
                        choices=ENGINE_NAMES + ("gum-nosteal", "bsp"))
     p_run.set_defaults(func=_cmd_run)
@@ -422,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_args(p_compare)
     add_obs_args(p_compare)
+    add_record_args(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_profile = sub.add_parser(
@@ -444,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="also print the ASCII per-GPU timeline",
     )
+    add_record_args(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
 
     p_bench = sub.add_parser(
@@ -484,7 +698,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--json", action="store_true",
                          help="print the report JSON instead of a table")
+    add_record_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="the persistent run registry: record, inspect, analyze, "
+             "and diff archived runs",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    p_record = runs_sub.add_parser(
+        "record", help="run one workload instrumented and archive it"
+    )
+    add_run_args(p_record)
+    p_record.add_argument("--engine", default="gum",
+                          choices=ENGINE_NAMES + ("gum-nosteal", "bsp"))
+    add_runs_dir_arg(p_record)
+    p_record.set_defaults(func=_cmd_runs_record)
+
+    p_list = runs_sub.add_parser("list", help="list recorded runs")
+    p_list.add_argument("--json", action="store_true")
+    add_runs_dir_arg(p_list)
+    p_list.set_defaults(func=_cmd_runs_list)
+
+    p_show = runs_sub.add_parser(
+        "show", help="print one run's manifest"
+    )
+    p_show.add_argument(
+        "ref",
+        help="run id (or unique prefix), 'latest', or a path to a run "
+             "directory / manifest.json",
+    )
+    add_runs_dir_arg(p_show)
+    p_show.set_defaults(func=_cmd_runs_show)
+
+    p_analyze = runs_sub.add_parser(
+        "analyze",
+        help="critical-path attribution and what-if replay of a "
+             "recorded run",
+    )
+    p_analyze.add_argument("ref", help="run reference (see 'runs show')")
+    p_analyze.add_argument(
+        "--scale-gpu", action="append", metavar="GPU=FACTOR",
+        type=_gpu_scale_pair, default=None,
+        help="what-if: scale GPU's compute time by FACTOR "
+             "(repeatable; 0=0.5 halves gpu0's compute)",
+    )
+    p_analyze.add_argument(
+        "--scale-compute", type=float, default=1.0, metavar="FACTOR",
+        help="what-if: scale every GPU's compute time by FACTOR",
+    )
+    p_analyze.add_argument(
+        "--zero-overhead", action="store_true",
+        help="what-if: zero the coordinator's decision overhead "
+             "(free solver)",
+    )
+    p_analyze.add_argument(
+        "--drop-fsteal", action="store_true",
+        help="what-if: charge stolen edges back to each superstep's "
+             "straggler (undo FSteal, first-order)",
+    )
+    p_analyze.add_argument("--json", action="store_true")
+    add_runs_dir_arg(p_analyze)
+    p_analyze.set_defaults(func=_cmd_runs_analyze)
+
+    p_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two recorded runs; exit 1 on gated regressions",
+    )
+    p_diff.add_argument("base", help="baseline run reference")
+    p_diff.add_argument("current", help="candidate run reference")
+    p_diff.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative regression tolerance (default: 0.30)",
+    )
+    p_diff.add_argument(
+        "--force", action="store_true",
+        help="diff even when the workload fingerprints differ",
+    )
+    p_diff.add_argument(
+        "--quiet", action="store_true",
+        help="only show regressions and notes, not every metric",
+    )
+    p_diff.add_argument("--json", action="store_true")
+    add_runs_dir_arg(p_diff)
+    p_diff.set_defaults(func=_cmd_runs_diff)
+
+    p_gc = runs_sub.add_parser(
+        "gc", help="delete all but the newest runs"
+    )
+    p_gc.add_argument("--keep", type=int, default=20,
+                      help="runs to keep (default %(default)s)")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be deleted, delete nothing")
+    add_runs_dir_arg(p_gc)
+    p_gc.set_defaults(func=_cmd_runs_gc)
     return parser
 
 
@@ -493,6 +802,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except RunRegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         return 0

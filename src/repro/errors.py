@@ -41,6 +41,15 @@ class CostModelError(ReproError):
     """Cost-model training or inference failed (e.g. empty training set)."""
 
 
+class RunRegistryError(ReproError):
+    """The run registry was asked something it cannot answer.
+
+    Raised for unknown or ambiguous run references, corrupt manifests,
+    and attempts to diff incommensurable runs (different workload or
+    seed — numbers that were never comparable).
+    """
+
+
 class TraceFormatError(ReproError, ValueError):
     """A trace file is malformed, truncated, or not a trace at all.
 

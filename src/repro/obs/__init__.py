@@ -34,6 +34,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    Timeseries,
 )
 from repro.obs.chrome import (
     ChromeTraceSink,
@@ -44,6 +45,15 @@ from repro.obs.export import (
     emit_iteration,
     iteration_spans,
     result_to_spans,
+)
+from repro.obs.analysis import (
+    CriticalPathReport,
+    ReplayReport,
+    SpanDag,
+    WhatIf,
+    analyze,
+    build_dag,
+    replay,
 )
 
 __all__ = [
@@ -58,6 +68,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Timeseries",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
@@ -67,4 +78,11 @@ __all__ = [
     "iteration_spans",
     "result_to_spans",
     "emit_iteration",
+    "SpanDag",
+    "CriticalPathReport",
+    "ReplayReport",
+    "WhatIf",
+    "analyze",
+    "build_dag",
+    "replay",
 ]

@@ -160,4 +160,23 @@ def emit_iteration(
         metrics.histogram(
             "engine.iteration_wall_seconds"
         ).observe(record.wall_seconds)
+        # per-iteration timeseries: the run registry archives these so
+        # two runs can be compared superstep-by-superstep, not just on
+        # end-to-end aggregates
+        iteration = record.iteration
+        metrics.timeseries(
+            "engine.wall_ms_series", "per-superstep wall time (ms)"
+        ).append(record.wall_seconds * 1e3, index=iteration)
+        metrics.timeseries(
+            "engine.frontier_edges_series",
+            "per-superstep frontier out-edges",
+        ).append(record.frontier_edges, index=iteration)
+        metrics.timeseries(
+            "engine.active_workers_series",
+            "per-superstep communication-group size",
+        ).append(record.num_active, index=iteration)
+        if record.stolen_edges:
+            metrics.timeseries(
+                "steal.edges_series", "per-superstep stolen edges"
+            ).append(record.stolen_edges, index=iteration)
     return virtual_start + record.wall_seconds

@@ -10,6 +10,12 @@ the end of a run.
 As with tracing, :data:`NULL_METRICS` is the default everywhere:
 instruments it hands out discard updates, and hot paths gate
 label-building work on ``metrics.enabled``.
+
+Snapshots are **JSON-stable**: every scalar is coerced to a plain
+Python ``int``/``float``/``None`` at observation time and every mapping
+is emitted in sorted key order, so two processes that observe the same
+values serialize byte-identical JSON — the property the run registry's
+``runs diff`` relies on.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Timeseries",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
@@ -48,7 +55,7 @@ class Counter:
     def inc(self, value: float = 1.0, **labels) -> None:
         """Add ``value`` to the series selected by ``labels``."""
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + value
+        self._values[key] = self._values.get(key, 0.0) + float(value)
 
     def value(self, **labels) -> float:
         """Current value of one labelled series (0 if never touched)."""
@@ -59,12 +66,12 @@ class Counter:
         return sum(self._values.values())
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-friendly state."""
+        """JSON-friendly state (sorted series, plain floats)."""
         return {
             "type": self.kind,
-            "total": self.total(),
+            "total": float(self.total()),
             "series": {
-                _key_string(key): value
+                _key_string(key): float(value)
                 for key, value in sorted(self._values.items())
             },
         }
@@ -132,18 +139,75 @@ class Histogram:
         return self.sum / self.count if self.count else None
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-friendly state."""
+        """JSON-friendly state (sorted buckets, plain scalars)."""
         return {
             "type": self.kind,
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
+            "count": int(self.count),
+            "sum": float(self.sum),
+            "mean": None if self.mean is None else float(self.mean),
+            "min": None if self.min is None else float(self.min),
+            "max": None if self.max is None else float(self.max),
             "decade_buckets": {
-                f"1e{exp}" if exp != -999 else "0": count
+                f"1e{exp}" if exp != -999 else "0": int(count)
                 for exp, count in sorted(self._buckets.items())
             },
+        }
+
+
+class Timeseries:
+    """Append-only per-iteration samples (wall ms, frontier edges, ...).
+
+    The missing shape between a histogram (order lost) and a raw trace
+    (too heavy): one float per superstep, in superstep order, cheap
+    enough to keep for a whole run and archive in a run manifest. The
+    run registry stores these so ``runs diff`` can compare *shapes* of
+    runs, not just end-to-end aggregates.
+    """
+
+    kind = "timeseries"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._index: List[int] = []
+        self._values: List[float] = []
+
+    def append(self, value: float, index: Optional[int] = None) -> None:
+        """Record the next sample.
+
+        ``index`` is the sample's iteration number; when omitted it
+        continues from the previous sample (so a series appended with
+        an explicit index — e.g. after skipped supersteps — stays
+        monotone).
+        """
+        if index is None:
+            index = self._index[-1] + 1 if self._index else 0
+        self._index.append(int(index))
+        self._values.append(float(value))
+
+    def values(self) -> List[float]:
+        """All samples, in append order."""
+        return list(self._values)
+
+    def index(self) -> List[int]:
+        """Sample indices (iteration numbers), in append order."""
+        return list(self._index)
+
+    def last(self) -> Optional[float]:
+        """Most recent sample, or ``None`` if empty."""
+        return self._values[-1] if self._values else None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly state (plain scalars, stable order)."""
+        return {
+            "type": self.kind,
+            "count": len(self._values),
+            "last": self.last(),
+            "index": list(self._index),
+            "values": list(self._values),
         }
 
 
@@ -156,7 +220,12 @@ class MetricsRegistry:
 
     enabled: bool = True
 
-    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+    _KINDS = {
+        "counter": Counter,
+        "gauge": Gauge,
+        "histogram": Histogram,
+        "timeseries": Timeseries,
+    }
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
@@ -184,6 +253,10 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "") -> Histogram:
         """Get or create a histogram."""
         return self._get(Histogram, name, help)
+
+    def timeseries(self, name: str, help: str = "") -> Timeseries:
+        """Get or create a timeseries."""
+        return self._get(Timeseries, name, help)
 
     def names(self) -> List[str]:
         """Registered instrument names, sorted."""
@@ -216,11 +289,26 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
+    def append(self, value: float, index: Optional[int] = None) -> None:
+        pass
+
     def value(self, **labels):
+        return None
+
+    def values(self) -> List[float]:
+        return []
+
+    def index(self) -> List[int]:
+        return []
+
+    def last(self) -> Optional[float]:
         return None
 
     def total(self) -> float:
         return 0.0
+
+    def __len__(self) -> int:
+        return 0
 
     def snapshot(self) -> Dict[str, object]:
         return {}
@@ -243,6 +331,10 @@ class NullMetrics(MetricsRegistry):
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str, help: str = ""):  # type: ignore[override]
+        """Return the shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def timeseries(self, name: str, help: str = ""):  # type: ignore[override]
         """Return the shared no-op instrument."""
         return _NULL_INSTRUMENT
 

@@ -1,0 +1,354 @@
+"""Persistent run registry: archive runs, find them again, prune them.
+
+PR 1 made a run observable while the process lives; this module makes
+it durable. A recorded run becomes a directory under ``.repro/runs``::
+
+    .repro/runs/<id>/
+        manifest.json     # fingerprint, environment, summary, metrics
+        trace.jsonl       # per-iteration records (save_trace format)
+        timeseries.json   # per-iteration arrays (RunResult.timeseries)
+
+The manifest's **fingerprint** has two halves with different jobs:
+
+* ``workload`` — engine, algorithm, graph, GPUs, partitioner, solver,
+  cost model, and seeds. Two runs are *commensurable* (diffable) only
+  when these match exactly; the virtual clock is deterministic given
+  them.
+* ``provenance`` — git SHA, package versions, platform. Recorded so a
+  regression can be traced to a commit, but never a diff precondition:
+  comparing across commits is the entire point of ``runs diff``.
+
+Everything in a manifest is plain JSON written with sorted keys, so
+identical runs produce identical bytes and diffs are deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import __version__, config
+from repro.errors import RunRegistryError
+from repro.runtime.metrics import RunResult
+from repro.runtime.trace import load_trace, save_trace
+
+__all__ = [
+    "RUN_SCHEMA",
+    "DEFAULT_RUNS_ROOT",
+    "RunRegistry",
+    "workload_fingerprint",
+    "provenance_fingerprint",
+    "environment_info",
+]
+
+RUN_SCHEMA = "repro-run/1"
+DEFAULT_RUNS_ROOT = ".repro/runs"
+
+MANIFEST_NAME = "manifest.json"
+TRACE_NAME = "trace.jsonl"
+TIMESERIES_NAME = "timeseries.json"
+
+#: Workload keys that must match for two runs to be comparable.
+WORKLOAD_KEYS = (
+    "engine",
+    "algorithm",
+    "graph",
+    "num_gpus",
+    "partitioner",
+    "solver",
+    "cost_model",
+    "seed",
+    "partition_seed",
+)
+
+
+def _git_sha() -> str:
+    """Current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def workload_fingerprint(
+    engine: str,
+    algorithm: str,
+    graph: str,
+    num_gpus: int,
+    partitioner: str = "random",
+    solver: str = "greedy",
+    cost_model: str = "default",
+    seed: int = config.DEFAULT_SEED,
+    partition_seed: int = 0,
+) -> Dict[str, object]:
+    """The identity half of a run fingerprint (diff precondition)."""
+    return {
+        "engine": str(engine),
+        "algorithm": str(algorithm),
+        "graph": str(graph),
+        "num_gpus": int(num_gpus),
+        "partitioner": str(partitioner),
+        "solver": str(solver),
+        "cost_model": str(cost_model),
+        "seed": int(seed),
+        "partition_seed": int(partition_seed),
+    }
+
+
+def provenance_fingerprint() -> Dict[str, str]:
+    """The provenance half: where these numbers came from."""
+    import numpy
+    try:
+        import scipy
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dep today
+        scipy_version = "absent"
+    return {
+        "git_sha": _git_sha(),
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+    }
+
+
+def environment_info() -> Dict[str, str]:
+    """Host description stored alongside a run (informational only)."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "executable": sys.executable,
+    }
+
+
+def _json_stable(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class RunRegistry:
+    """Directory-backed store of recorded runs.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; defaults to ``.repro/runs`` under the
+        current working directory. Created lazily on first record.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self._root = Path(root or DEFAULT_RUNS_ROOT)
+
+    @property
+    def root(self) -> Path:
+        """The registry directory."""
+        return self._root
+
+    # -- recording ------------------------------------------------------
+    def record_result(
+        self,
+        result: RunResult,
+        workload: Dict[str, object],
+        metrics: Optional[Dict] = None,
+        notes: str = "",
+    ) -> str:
+        """Archive one finished run; returns its registry id.
+
+        ``workload`` should come from :func:`workload_fingerprint`;
+        ``metrics`` is a :meth:`MetricsRegistry.snapshot` (optional).
+        """
+        from repro.cli import result_summary  # local: cli imports runs
+
+        manifest = {
+            "schema": RUN_SCHEMA,
+            "kind": "run",
+            "created_unix": time.time(),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "fingerprint": {
+                "workload": dict(workload),
+                "provenance": provenance_fingerprint(),
+            },
+            "environment": environment_info(),
+            "summary": result_summary(result),
+            "metrics": dict(metrics or {}),
+            "files": [MANIFEST_NAME, TRACE_NAME, TIMESERIES_NAME],
+        }
+        if notes:
+            manifest["notes"] = notes
+        run_dir = self._new_run_dir(manifest)
+        manifest["id"] = run_dir.name
+        (run_dir / MANIFEST_NAME).write_text(_json_stable(manifest))
+        save_trace(result, run_dir / TRACE_NAME)
+        (run_dir / TIMESERIES_NAME).write_text(
+            _json_stable(result.timeseries())
+        )
+        return run_dir.name
+
+    def record_bench(self, report: Dict, notes: str = "") -> str:
+        """Archive a ``repro bench`` report as a bench-kind manifest.
+
+        ``runs diff`` on two bench manifests delegates to the
+        perfharness comparison (same noise guards as the CI gate).
+        """
+        manifest = {
+            "schema": RUN_SCHEMA,
+            "kind": "bench",
+            "created_unix": time.time(),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "fingerprint": {
+                "workload": {"bench_schema": report.get("schema")},
+                "provenance": provenance_fingerprint(),
+            },
+            "environment": environment_info(),
+            "report": dict(report),
+            "files": [MANIFEST_NAME],
+        }
+        if notes:
+            manifest["notes"] = notes
+        run_dir = self._new_run_dir(manifest, slug="bench")
+        manifest["id"] = run_dir.name
+        (run_dir / MANIFEST_NAME).write_text(_json_stable(manifest))
+        return run_dir.name
+
+    def _new_run_dir(self, manifest: Dict, slug: str = "") -> Path:
+        if not slug:
+            workload = manifest["fingerprint"]["workload"]
+            slug = "-".join(str(workload[key]) for key in
+                            ("engine", "algorithm", "graph"))
+            slug += f"-{workload['num_gpus']}gpu"
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        digest = hashlib.sha1(
+            _json_stable(manifest).encode()
+        ).hexdigest()[:6]
+        self._root.mkdir(parents=True, exist_ok=True)
+        candidate = self._root / f"{stamp}-{slug}-{digest}"
+        counter = 0
+        while candidate.exists():
+            counter += 1
+            candidate = self._root / f"{stamp}-{slug}-{digest}.{counter}"
+        candidate.mkdir()
+        return candidate
+
+    # -- lookup ---------------------------------------------------------
+    def ids(self) -> List[str]:
+        """Recorded run ids, oldest first."""
+        return [m["id"] for m in self.manifests()]
+
+    def manifests(self) -> List[Dict]:
+        """All manifests, sorted oldest first (broken ones skipped)."""
+        if not self._root.is_dir():
+            return []
+        loaded = []
+        for path in sorted(self._root.iterdir()):
+            manifest_path = path / MANIFEST_NAME
+            if not manifest_path.is_file():
+                continue
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except json.JSONDecodeError:
+                continue
+            if manifest.get("schema") == RUN_SCHEMA:
+                loaded.append(manifest)
+        loaded.sort(key=lambda m: (m.get("created_unix", 0.0),
+                                   m.get("id", "")))
+        return loaded
+
+    def resolve(self, ref: str) -> Path:
+        """Run directory for a reference.
+
+        Accepts a run id or unique prefix, ``latest``/``last``, or a
+        filesystem path (a run directory or its ``manifest.json``) —
+        the latter lets committed reference manifests live outside the
+        registry, e.g. under ``benchmarks/reference/``.
+        """
+        path = Path(ref)
+        if path.is_file() and path.name == MANIFEST_NAME:
+            return path.parent
+        if path.is_dir() and (path / MANIFEST_NAME).is_file():
+            return path
+        manifests = self.manifests()
+        if ref in ("latest", "last"):
+            if not manifests:
+                raise RunRegistryError(
+                    f"no runs recorded under {self._root}"
+                )
+            return self._root / manifests[-1]["id"]
+        matches = [m["id"] for m in manifests
+                   if m["id"] == ref or m["id"].startswith(ref)
+                   or ref in m["id"]]
+        exact = [m for m in matches if m == ref]
+        if exact:
+            return self._root / exact[0]
+        if len(matches) == 1:
+            return self._root / matches[0]
+        if len(matches) > 1:
+            raise RunRegistryError(
+                f"ambiguous run reference {ref!r}: matches "
+                f"{', '.join(matches)}"
+            )
+        raise RunRegistryError(
+            f"unknown run reference {ref!r} (registry: {self._root}, "
+            f"{len(manifests)} runs recorded)"
+        )
+
+    def load_manifest(self, ref: str) -> Dict:
+        """Manifest of one run (see :meth:`resolve` for references)."""
+        manifest_path = self.resolve(ref) / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RunRegistryError(
+                f"{manifest_path}: corrupt manifest ({exc.msg})"
+            ) from exc
+        if manifest.get("schema") != RUN_SCHEMA:
+            raise RunRegistryError(
+                f"{manifest_path}: unsupported manifest schema "
+                f"{manifest.get('schema')!r} (expected {RUN_SCHEMA})"
+            )
+        return manifest
+
+    def load_run_trace(self, ref: str) -> Tuple[Dict, List[Dict]]:
+        """``(header, iteration_records)`` of a recorded run's trace."""
+        run_dir = self.resolve(ref)
+        trace_path = run_dir / TRACE_NAME
+        if not trace_path.is_file():
+            raise RunRegistryError(
+                f"{run_dir.name}: no archived trace "
+                f"({TRACE_NAME} missing)"
+            )
+        return load_trace(trace_path)
+
+    def load_timeseries(self, ref: str) -> Dict[str, list]:
+        """Per-iteration arrays of a recorded run."""
+        path = self.resolve(ref) / TIMESERIES_NAME
+        if not path.is_file():
+            raise RunRegistryError(
+                f"{self.resolve(ref).name}: no archived timeseries"
+            )
+        return json.loads(path.read_text())
+
+    # -- maintenance ----------------------------------------------------
+    def gc(self, keep: int = 20, dry_run: bool = False) -> List[str]:
+        """Delete all but the ``keep`` newest runs; returns removed ids."""
+        if keep < 0:
+            raise RunRegistryError(f"gc keep must be >= 0, got {keep}")
+        manifests = self.manifests()
+        doomed = manifests[:max(len(manifests) - keep, 0)]
+        removed = []
+        for manifest in doomed:
+            run_dir = self._root / manifest["id"]
+            if not dry_run:
+                shutil.rmtree(run_dir)
+            removed.append(manifest["id"])
+        return removed

@@ -1,0 +1,293 @@
+"""Unit tests for critical-path attribution and what-if replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.hardware import dgx1
+from repro.obs.analysis import (
+    ATTRIBUTION_BUCKETS,
+    DagNode,
+    SpanDag,
+    WhatIf,
+    analyze,
+    build_dag,
+    format_replay,
+    format_report,
+    replay,
+)
+from repro.runtime import BSPEngine
+from repro.runtime.trace import load_trace, save_trace
+
+
+@pytest.fixture(scope="module")
+def result(skewed_graph, skewed_partition, source):
+    return BSPEngine(dgx1(8)).run(
+        skewed_graph, skewed_partition, "bfs", source=source
+    )
+
+
+def _records():
+    """Two hand-checkable supersteps, 3 GPUs, gpu2 evicted.
+
+    Breakdown buckets sum to wall in both (as engine traces do);
+    iteration 1 applied FSteal.
+    """
+    return [
+        {
+            "iteration": 0, "wall_ms": 4.0,
+            "busy_ms": [1.0, 3.0, 0.0], "stall_ms": [2.0, 0.0, 0.0],
+            "active_workers": [0, 1],
+            "breakdown_ms": {"compute": 1.5, "communication": 1.5,
+                             "serialization": 0.2, "sync": 0.5,
+                             "overhead": 0.3},
+            "frontier_edges": 100, "stolen_edges": 0,
+            "fsteal": False, "group_size": 2,
+        },
+        {
+            "iteration": 1, "wall_ms": 3.0,
+            "busy_ms": [2.0, 1.0, 0.0], "stall_ms": [0.0, 1.0, 0.0],
+            "active_workers": [0, 1],
+            "breakdown_ms": {"compute": 1.0, "communication": 1.0,
+                             "serialization": 0.2, "sync": 0.5,
+                             "overhead": 0.3},
+            "frontier_edges": 200, "stolen_edges": 50,
+            "fsteal": True, "group_size": 2,
+        },
+    ]
+
+
+def _header():
+    return {"engine": "gum", "algorithm": "bfs", "graph": "synthetic",
+            "num_gpus": 3, "total_ms": 7.0}
+
+
+# ----------------------------------------------------------------------
+# Attribution
+# ----------------------------------------------------------------------
+def test_attribution_sums_to_total_ms(result):
+    report = analyze(result)
+    assert report.total_ms == pytest.approx(result.total_ms, rel=1e-9)
+    bucket_sum = sum(report.buckets_ms.values())
+    # acceptance criterion: buckets sum to total within 1%
+    assert bucket_sum == pytest.approx(report.total_ms, rel=0.01)
+    # and in practice to machine precision
+    assert bucket_sum == pytest.approx(report.total_ms, rel=1e-9)
+    assert set(report.buckets_ms) == set(ATTRIBUTION_BUCKETS)
+
+
+def test_per_iteration_attribution_exact():
+    report = analyze((_header(), _records()))
+    first = report.iterations[0]
+    assert first.attribution_ms == pytest.approx({
+        # stall = critical - mean busy = 3.0 - 2.0, pulled out of the
+        # engine's communication bucket
+        "compute": 1.5, "communication": 0.5,
+        "stall": 1.0, "coordinator": 1.0,
+    })
+    assert sum(first.attribution_ms.values()) == pytest.approx(
+        first.wall_ms
+    )
+
+
+def test_straggler_naming():
+    report = analyze((_header(), _records()))
+    assert report.straggler_series() == [1, 0]
+    assert report.straggler_counts == [1, 1, 0]
+    # gpu0's critical superstep is shorter (2.0 ms vs 3.0 ms), so the
+    # dominant straggler tie-breaks by count order
+    assert report.dominant_straggler() in (0, 1)
+    assert report.per_gpu_critical_ms == pytest.approx([2.0, 3.0, 0.0])
+
+
+def test_analyze_loaded_trace_matches_runresult(tmp_path, result):
+    path = tmp_path / "run.jsonl"
+    save_trace(result, path)
+    from_file = analyze(load_trace(path))
+    from_result = analyze(result)
+    assert from_file.total_ms == pytest.approx(
+        from_result.total_ms, rel=1e-6
+    )
+    assert (from_file.straggler_series()
+            == from_result.straggler_series())
+    assert from_file.num_gpus == from_result.num_gpus
+
+
+def test_report_as_dict_is_json(result):
+    payload = analyze(result).as_dict()
+    json.dumps(payload)
+    assert payload["num_iterations"] == result.num_iterations
+
+
+def test_analyze_empty_run():
+    report = analyze(({}, []))
+    assert report.total_ms == 0.0
+    assert report.num_iterations == 0
+    assert report.dominant_straggler() is None
+    assert report.critical_path_ms == 0.0
+
+
+# ----------------------------------------------------------------------
+# The DAG
+# ----------------------------------------------------------------------
+def test_dag_shape_and_longest_path():
+    dag = build_dag((_header(), _records()))
+    # source + (2 busy + barrier + coordinator) * 2 + sink
+    assert len(dag) == 10
+    length, path = dag.longest_path()
+    # barrier-to-barrier structure: critical busy + coordinator tail
+    # per superstep = the superstep's wall; summed = total
+    assert length == pytest.approx(7.0)
+    assert path[0] == "source" and path[-1] == "sink"
+    assert "busy:0:gpu1" in path  # iteration 0's straggler
+    assert "busy:1:gpu0" in path  # iteration 1's straggler
+
+
+def test_dag_longest_path_equals_total(result):
+    length, __ = build_dag(result).longest_path()
+    assert length == pytest.approx(result.total_ms, rel=1e-9)
+
+
+def test_dag_rejects_duplicates_and_unknown_edges():
+    dag = SpanDag()
+    dag.add_node(DagNode(id="a", kind="busy", duration_ms=1.0))
+    with pytest.raises(TraceFormatError, match="duplicate"):
+        dag.add_node(DagNode(id="a", kind="busy", duration_ms=2.0))
+    with pytest.raises(TraceFormatError, match="unknown"):
+        dag.add_edge("a", "missing")
+
+
+def test_empty_dag_longest_path():
+    assert SpanDag().longest_path() == (0.0, [])
+
+
+# ----------------------------------------------------------------------
+# What-if replay
+# ----------------------------------------------------------------------
+def test_noop_replay_is_exact(result):
+    outcome = replay(result, WhatIf())
+    # acceptance criterion: scale factor 1.0 reproduces the original
+    # end-to-end time *exactly*: every per-superstep wall is unchanged
+    # bit-for-bit, so the replayed total equals the trace's baseline
+    # (result.total_ms sums the same walls bucket-major, which may
+    # differ in the last float bit — hence the approx there)
+    assert outcome.wall_ms_series == [
+        rec.wall_seconds * 1e3 for rec in result.iterations
+    ]
+    assert outcome.total_ms == outcome.baseline_ms
+    assert outcome.delta_ms == 0.0
+    assert outcome.speedup == 1.0
+    assert outcome.total_ms == pytest.approx(result.total_ms, rel=1e-12)
+
+
+def test_noop_scale_factors_are_noop(result):
+    scenario = WhatIf(gpu_compute_scale={0: 1.0}, compute_scale=1.0)
+    assert scenario.is_noop()
+    outcome = replay(result, scenario)
+    assert outcome.total_ms == outcome.baseline_ms
+
+
+def test_scale_straggler_down_speeds_up():
+    source = (_header(), _records())
+    outcome = replay(source, WhatIf(gpu_compute_scale={1: 0.5}))
+    # iteration 0: compute fraction = 1.5/2.0; busy1 3.0 -> 1.875,
+    # still the straggler, wall 4.0 -> 2.875. iteration 1: gpu0
+    # stays critical, wall unchanged.
+    assert outcome.baseline_ms == pytest.approx(7.0)
+    assert outcome.total_ms == pytest.approx(5.875)
+    assert outcome.speedup > 1.0
+
+
+def test_scale_up_slows_down():
+    source = (_header(), _records())
+    outcome = replay(source, WhatIf(compute_scale=2.0))
+    assert outcome.total_ms > outcome.baseline_ms
+
+
+def test_zero_decision_overhead():
+    source = (_header(), _records())
+    outcome = replay(source, WhatIf(zero_decision_overhead=True))
+    # exactly the two 0.3 ms overhead charges disappear
+    assert outcome.total_ms == pytest.approx(7.0 - 0.6)
+    assert outcome.wall_ms_series[0] >= 3.0  # never below the barrier
+
+
+def test_drop_fsteal_charges_straggler():
+    source = (_header(), _records())
+    outcome = replay(source, WhatIf(drop_fsteal=True))
+    # iteration 1: 50 stolen edges at (3.0 ms / 200 edges) land back
+    # on gpu0 -> critical 2.75, wall 3.75; iteration 0 untouched
+    assert outcome.wall_ms_series[0] == pytest.approx(4.0)
+    assert outcome.wall_ms_series[1] == pytest.approx(3.75)
+    assert outcome.total_ms > outcome.baseline_ms
+
+
+def test_whatif_describe():
+    assert WhatIf().describe() == "no-op"
+    text = WhatIf(gpu_compute_scale={2: 0.5},
+                  zero_decision_overhead=True).describe()
+    assert "gpu2 compute x0.5" in text
+    assert "decision overhead" in text
+
+
+def test_replay_report_as_dict(result):
+    payload = replay(result, WhatIf(compute_scale=0.5)).as_dict()
+    json.dumps(payload)
+    assert payload["speedup"] >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Malformed input
+# ----------------------------------------------------------------------
+def test_analyze_rejects_non_trace():
+    with pytest.raises(TraceFormatError, match="cannot analyze"):
+        analyze(42.0)
+
+
+def test_analyze_rejects_missing_busy():
+    with pytest.raises(TraceFormatError, match="busy_ms"):
+        analyze(({}, [{"iteration": 0, "wall_ms": 1.0}]))
+
+
+def test_analyze_rejects_shape_mismatch():
+    record = {"iteration": 0, "wall_ms": 1.0,
+              "busy_ms": [1.0, 2.0], "stall_ms": [0.0]}
+    with pytest.raises(TraceFormatError, match="stall_ms"):
+        analyze(({}, [record]))
+
+
+def test_analyze_rejects_out_of_range_worker():
+    record = {"iteration": 0, "wall_ms": 1.0, "busy_ms": [1.0, 2.0],
+              "stall_ms": [0.0, 0.0], "active_workers": [0, 5]}
+    with pytest.raises(TraceFormatError, match="out of\n*.range|out of"):
+        analyze(({}, [record]))
+
+
+def test_foreign_trace_without_breakdown():
+    # a minimal non-repro trace still analyzes: critical busy becomes
+    # compute, the post-barrier remainder becomes coordinator
+    record = {"iteration": 0, "wall_ms": 5.0, "busy_ms": [1.0, 4.0]}
+    report = analyze([record])
+    assert report.total_ms == pytest.approx(5.0)
+    assert report.buckets_ms["compute"] == pytest.approx(4.0)
+    assert report.buckets_ms["coordinator"] == pytest.approx(1.0)
+    assert sum(report.buckets_ms.values()) == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+def test_format_report_and_replay():
+    source = (_header(), _records())
+    text = format_report(analyze(source))
+    assert "critical path" in text
+    for bucket in ATTRIBUTION_BUCKETS:
+        assert bucket in text
+    assert "dominant" in text
+    replay_text = format_replay(
+        replay(source, WhatIf(zero_decision_overhead=True))
+    )
+    assert "what-if" in replay_text
+    assert "->" in replay_text

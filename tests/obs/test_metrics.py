@@ -76,3 +76,71 @@ def test_null_metrics_is_inert():
     NULL_METRICS.gauge("g").set(5)
     NULL_METRICS.histogram("h").observe(1.0)
     assert NULL_METRICS.snapshot() == {}
+
+
+def test_timeseries_append_and_snapshot():
+    registry = MetricsRegistry()
+    series = registry.timeseries("engine.wall_ms_series", "per-superstep")
+    series.append(1.5)
+    series.append(2.5, index=3)
+    series.append(4)
+    assert len(series) == 3
+    assert series.values() == [1.5, 2.5, 4.0]
+    assert series.index() == [0, 3, 4]  # explicit index advances it
+    assert series.last() == 4.0
+    snap = series.snapshot()
+    assert snap == {"type": "timeseries", "count": 3, "last": 4.0,
+                    "index": [0, 3, 4], "values": [1.5, 2.5, 4.0]}
+
+
+def test_timeseries_empty_snapshot():
+    series = MetricsRegistry().timeseries("s")
+    assert series.last() is None
+    assert series.snapshot() == {"type": "timeseries", "count": 0,
+                                 "last": None, "index": [], "values": []}
+
+
+def test_null_timeseries_is_inert():
+    series = NULL_METRICS.timeseries("anything")
+    series.append(5.0, index=2)
+    assert len(series) == 0
+    assert series.values() == []
+    assert series.last() is None
+
+
+def test_snapshot_is_json_stable():
+    """Identical metric activity must serialize to identical bytes.
+
+    The run registry diffs archived snapshots, so key order and scalar
+    types cannot depend on insertion order or numpy input types.
+    """
+    import numpy as np
+
+    def build(shuffle):
+        registry = MetricsRegistry()
+        names = ["z.counter", "a.gauge", "m.histogram", "t.series"]
+        if shuffle:
+            names = list(reversed(names))
+        for name in names:
+            if name.endswith("counter"):
+                registry.counter(name).inc(np.int64(3), gpu=np.int64(1))
+            elif name.endswith("gauge"):
+                registry.gauge(name).set(np.float32(2.0))
+            elif name.endswith("histogram"):
+                registry.histogram(name).observe(np.float64(0.25))
+            else:
+                registry.timeseries(name).append(np.float64(1.0))
+        return registry.snapshot()
+
+    first = json.dumps(build(False), sort_keys=True)
+    second = json.dumps(build(True), sort_keys=True)
+    assert first == second
+    # every leaf is a plain python scalar, not a numpy type
+    snap = build(False)
+    assert type(snap["z.counter"]["total"]) is float
+    assert type(snap["z.counter"]["series"]["gpu=1"]) is float
+    assert type(snap["a.gauge"]["value"]) is float
+    assert type(snap["m.histogram"]["count"]) is int
+    assert type(snap["m.histogram"]["sum"]) is float
+    assert type(snap["t.series"]["values"][0]) is float
+    assert type(snap["t.series"]["index"][0]) is int

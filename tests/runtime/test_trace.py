@@ -7,6 +7,7 @@ import pytest
 
 from repro.errors import ReproError, TraceFormatError
 from repro.hardware import dgx1
+from repro.obs import result_to_spans
 from repro.runtime import BSPEngine
 from repro.runtime.metrics import (
     IterationRecord,
@@ -140,6 +141,99 @@ def test_render_timeline_marks_evicted_workers():
             if line.strip().startswith("gpu2")]
     assert rows and rows[0].count("-") == 20
     assert "#" not in rows[0] and "." not in rows[0]
+
+
+def _empty_result():
+    return RunResult(engine="gum", algorithm="bfs", graph_name="g",
+                     num_gpus=4, values=np.zeros(1))
+
+
+def _two_group_result():
+    """Two iterations whose OSteal group shrinks 2 -> 1."""
+    records = []
+    for iteration, (active, group) in enumerate([([0, 1], 2), ([0], 1)]):
+        busy = np.zeros(2)
+        busy[active] = 1.0
+        records.append(IterationRecord(
+            iteration=iteration, frontier_size=4, frontier_edges=16,
+            active_workers=active, busy_seconds=busy,
+            stall_seconds=np.zeros(2), wall_seconds=1.5,
+            breakdown=TimeBreakdown(compute=1.0, communication=0.5),
+            osteal_group_size=group,
+        ))
+    return RunResult(engine="gum", algorithm="bfs", graph_name="g",
+                     num_gpus=2, values=np.zeros(1), iterations=records)
+
+
+def test_result_to_spans_skips_evicted_workers():
+    spans = result_to_spans(_synthetic_result())
+    # gpu2 was evicted by OSteal: no busy/stall span may appear on its
+    # track (render_timeline shows it as a '-' row instead)
+    assert not any(span.track == "gpu2" for span in spans)
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    assert len(by_name["superstep"]) == 1
+    # gpu1 is all busy: a busy span but no stall span
+    assert {span.track for span in by_name["busy"]} == {"gpu0", "gpu1"}
+    assert {span.track for span in by_name["stall"]} == {"gpu0"}
+    # the stall span starts where the busy span ends
+    gpu0_busy = next(s for s in by_name["busy"] if s.track == "gpu0")
+    gpu0_stall = by_name["stall"][0]
+    assert gpu0_stall.virtual_start == pytest.approx(
+        gpu0_busy.virtual_start + gpu0_busy.virtual_dur
+    )
+
+
+def test_result_to_spans_emits_group_change_instants():
+    spans = result_to_spans(_two_group_result())
+    changes = [span for span in spans
+               if span.name == "osteal.group_change"]
+    assert len(changes) == 1
+    assert changes[0].kind == "instant"
+    assert changes[0].attrs["from"] == 2
+    assert changes[0].attrs["to"] == 1
+    assert changes[0].attrs["iteration"] == 1
+
+
+def test_empty_run_exports_cleanly(tmp_path):
+    empty = _empty_result()
+    assert result_to_spans(empty) == []
+    assert trace_records(empty) == []
+    path = tmp_path / "empty-run.jsonl"
+    save_trace(empty, path)
+    header, records = load_trace(path)  # header-only file is valid
+    assert header["num_gpus"] == 4
+    assert records == []
+    report = utilization_report(empty)
+    assert report["iterations"] == 0
+    assert report["per_gpu_busy_ms"] == [0.0] * 4
+
+
+def test_empty_run_timeseries():
+    series = _empty_result().timeseries()
+    assert series["wall_ms"] == []
+    assert series["critical_busy_ms"] == []
+    json.dumps(series)
+
+
+def test_load_truncated_tail_rejected(tmp_path, result):
+    path = tmp_path / "truncated.jsonl"
+    save_trace(result, path)
+    text = path.read_text()
+    path.write_text(text[:len(text) - 40])  # cut mid-record
+    with pytest.raises(TraceFormatError, match="malformed trace line"):
+        load_trace(path)
+
+
+def test_load_trace_skips_blank_lines(tmp_path, result):
+    path = tmp_path / "gaps.jsonl"
+    save_trace(result, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n\n".join(lines) + "\n")
+    header, records = load_trace(path)
+    assert header["engine"] == result.engine
+    assert len(records) == result.num_iterations
 
 
 def test_utilization_report(result):
