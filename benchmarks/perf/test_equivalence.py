@@ -127,3 +127,65 @@ def test_pricing_empty_plan_is_zero():
         empty, features, context, n_gpus
     )
     assert not busy.any() and not compute.any() and not comm.any()
+
+
+# ----------------------------------------------------------------------
+# ISSUE-4: decision amortization equivalence.
+#
+# ``amortize=False`` must reproduce pre-amortization virtual times bit
+# for bit (the committed reference was recorded with ``--no-amortize``
+# and its total matches the pre-amortization seed exactly);
+# ``amortize=True`` must keep answers and iteration counts identical
+# and land within tolerance on the virtual clock.
+# ----------------------------------------------------------------------
+import json
+
+from conftest import PERF_DIR
+
+REFERENCE_BFS_MANIFEST = (
+    PERF_DIR.parent / "reference" / "tx-bfs-4gpu" / "manifest.json"
+)
+
+
+def test_amortize_disabled_bit_identical_to_reference(capsys):
+    from repro.cli import main
+
+    manifest = json.loads(REFERENCE_BFS_MANIFEST.read_text())
+    assert manifest["fingerprint"]["workload"]["amortize"] is False
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs",
+        "--engine", "gum", "--gpus", "4", "--cost-model", "oracle",
+        "--no-amortize", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_ms"] == manifest["summary"]["total_ms"]
+    assert payload["iterations"] == manifest["summary"]["iterations"]
+
+
+def test_amortization_preserves_results_within_tolerance():
+    from repro.core import GumConfig, GumEngine
+    from repro.graph import road_network, with_random_weights
+    from repro.hardware import dgx1
+    from repro.partition import random_partition
+
+    graph = with_random_weights(road_network(6, 80, seed=3), seed=1)
+    partition = random_partition(graph, 8, seed=0)
+
+    def run(config):
+        return GumEngine(dgx1(8), config=config).run(
+            graph, partition, "sssp", source=0
+        )
+
+    exact = run(GumConfig(cost_model="oracle", amortize=False))
+    exact_again = run(GumConfig(cost_model="oracle", amortize=False))
+    amortized = run(GumConfig(cost_model="oracle", amortize=True))
+
+    # exact mode is deterministic down to the bit
+    assert exact.total_seconds == exact_again.total_seconds
+    # amortization never changes answers or the iteration structure
+    assert np.array_equal(exact.values, amortized.values)
+    assert exact.num_iterations == amortized.num_iterations
+    # the virtual clock stays within tolerance of the exact path
+    ratio = amortized.total_seconds / exact.total_seconds
+    assert 0.85 <= ratio <= 1.15

@@ -103,3 +103,40 @@ def test_no_regression_vs_baseline(bench_report):
     assert not confirmed, "\n" + perfharness.format_regressions(
         confirmed
     )
+
+
+# ----------------------------------------------------------------------
+# ISSUE-4: decision amortization must cut the per-iteration decision
+# path by >=3x on the tail-heavy road workload (measured in-process,
+# against the same arbitrator with amortization disabled).
+# ----------------------------------------------------------------------
+def test_decision_iteration_amortization_speedup():
+    cold = perfharness.BENCH_CASES[
+        "decision.iteration.cold.tailTX.8gpu"
+    ].setup()
+    amortized = perfharness.BENCH_CASES[
+        "decision.iteration.amortized.tailTX.8gpu"
+    ].setup()
+    ratio = _speedup(cold, amortized)
+    print(f"\ndecision amortization speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_osteal_bracket_speedup():
+    scan = perfharness.BENCH_CASES["decision.osteal.scan.8gpu"].setup()
+    bracket = perfharness.BENCH_CASES[
+        "decision.osteal.bracket.8gpu"
+    ].setup()
+    ratio = _speedup(scan, bracket)
+    print(f"\nosteal bracket-search speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR
+
+
+def test_plan_cache_hit_beats_cold_solve():
+    cold = perfharness.BENCH_CASES["decision.fsteal.cold.64x8"].setup()
+    cached = perfharness.BENCH_CASES[
+        "decision.fsteal.cached.64x8"
+    ].setup()
+    ratio = _speedup(cold, cached)
+    print(f"\nplan-cache hit speedup: {ratio:.1f}x")
+    assert ratio >= SPEEDUP_FLOOR

@@ -338,6 +338,215 @@ for _family in ("tree", "polynomial"):
 
 
 # ----------------------------------------------------------------------
+# Decision-amortization cases: the tail-heavy road-graph regime where
+# the plan cache, warm starts, and the incremental OSteal search pay.
+# ----------------------------------------------------------------------
+def _road_tail_levels(n_levels: int = 8):
+    """Consecutive deep BFS levels of the TX road graph.
+
+    Road networks have huge diameters, so the deep levels are the
+    paper's LT regime: small cycling frontiers where the per-iteration
+    decision cost dominates. Returns ``(graph, levels)`` with each
+    level a vertex array.
+    """
+    from repro.graph.datasets import load
+    from repro.runtime.frontier import Frontier
+
+    graph = load("TX")
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    frontier = np.array([0], dtype=np.int64)
+    visited[0] = True
+    levels = [frontier]
+    while frontier.size:
+        __, destinations, __ = Frontier(frontier).gather(graph)
+        if destinations.size:
+            nxt = np.unique(destinations[~visited[destinations]])
+        else:
+            nxt = np.empty(0, dtype=np.int64)
+        visited[nxt] = True
+        frontier = nxt
+        if frontier.size:
+            levels.append(frontier)
+    # deep-tail slice: past ~70% of the diameter, still non-empty
+    start = max(1, int(len(levels) * 0.7))
+    return graph, levels[start:start + n_levels]
+
+
+def _decision_fixture(amortize: bool):
+    """A steady-state tail iteration driving the real GUM arbitrator.
+
+    Cycles ``GumScheduler.plan`` over deep TX BFS levels with the
+    long-tail trigger forced on every iteration (cooldown 0, tiny
+    previous wall time), so each call pays the full decision path:
+    OSteal enumeration plus the FSteal solve/cache. The caches are
+    pre-warmed with two full cycles so the amortized arm measures its
+    steady state.
+    """
+    from repro.core.arbitrator import GumConfig, GumScheduler
+    from repro.hardware import dgx1
+    from repro.hardware.timing import TimingModel
+    from repro.partition.partitioners import random_partition
+    from repro.runtime.scheduler import RunContext
+
+    n_gpus = 8
+    graph, levels = _road_tail_levels()
+    partition = random_partition(graph, n_gpus, seed=0)
+    topology = dgx1(n_gpus)
+    context = RunContext(
+        graph=graph,
+        partition=partition,
+        timing=TimingModel(topology),
+        fragment_home=np.arange(n_gpus, dtype=np.int64),
+        fragment_worker=np.arange(n_gpus, dtype=np.int64),
+    )
+    scheduler = GumScheduler(GumConfig(
+        amortize=amortize,
+        cost_model="oracle",
+        t1_min_edges=0,
+        t2_imbalance_edges=0,
+        t2_imbalance_ratio=0.0,
+        osteal_cooldown=0,
+    ))
+    scheduler.begin_run(context)
+    # force the LT regime: every iteration looks like a tail iteration
+    scheduler._state.prev_wall = 1e-6
+    from repro.runtime.frontier import Frontier
+
+    steps = []
+    for vertices in levels:
+        frags = Frontier(vertices).split_by_owner(
+            partition.owner, n_gpus
+        )
+        loads = np.array(
+            [f.work(graph) for f in frags], dtype=np.int64
+        )
+        steps.append((frags, loads))
+    counter = {"i": 0}
+
+    def step():
+        frags, loads = steps[counter["i"] % len(steps)]
+        counter["i"] += 1
+        scheduler._state.prev_wall = 1e-6
+        return scheduler.plan(counter["i"], frags, loads, context)
+
+    for __ in range(2 * len(steps)):  # pre-warm caches + memoized features
+        step()
+    return step
+
+
+@bench_case("decision.iteration.cold.tailTX.8gpu",
+            graph="TX", workers=8, amortize=False,
+            unit="seconds per arbitrator decision")
+def _decision_cold():
+    return _decision_fixture(amortize=False)
+
+
+@bench_case("decision.iteration.amortized.tailTX.8gpu",
+            graph="TX", workers=8, amortize=True,
+            unit="seconds per arbitrator decision")
+def _decision_amortized():
+    return _decision_fixture(amortize=True)
+
+
+def _osteal_fixture():
+    """Shared inputs for one Algorithm-2 enumeration on a tail level."""
+    from repro import config as repro_config
+    from repro.core.costmodel import OracleCostModel
+    from repro.core.milp import make_solver
+    from repro.core.reduction_tree import ReductionTree
+    from repro.hardware import dgx1
+    from repro.hardware.microbench import measure_comm_cost_matrix
+    from repro.partition.partitioners import random_partition
+    from repro.runtime.frontier import Frontier
+
+    n_gpus = 8
+    graph, levels = _road_tail_levels()
+    partition = random_partition(graph, n_gpus, seed=0)
+    topology = dgx1(n_gpus)
+    frags = Frontier(levels[0]).split_by_owner(partition.owner, n_gpus)
+    features = [f.features(graph) for f in frags]
+    workloads = np.array([f.work(graph) for f in frags], dtype=np.int64)
+    comm_cost = measure_comm_cost_matrix(
+        topology, repro_config.BYTES_PER_EDGE, seed=0
+    )
+    return dict(
+        tree=ReductionTree(topology),
+        comm_cost=comm_cost,
+        fragment_features=features,
+        workloads=workloads,
+        fragment_home=np.arange(n_gpus, dtype=np.int64),
+        cost_model=OracleCostModel(),
+        solver=make_solver("greedy"),
+        p_estimate=1e-4,
+    )
+
+
+@bench_case("decision.osteal.scan.8gpu", workers=8, search="scan",
+            unit="seconds per full Algorithm-2 enumeration")
+def _osteal_scan():
+    from repro.core.osteal import plan_osteal
+
+    kwargs = _osteal_fixture()
+    return lambda: plan_osteal(search="scan", **kwargs)
+
+
+@bench_case("decision.osteal.bracket.8gpu", workers=8, search="bracket",
+            unit="seconds per warmed bracket search")
+def _osteal_bracket():
+    from repro.core.osteal import plan_osteal
+
+    kwargs = _osteal_fixture()
+    z_cache: Dict[int, float] = {}
+    warm = plan_osteal(search="bracket", z_cache=z_cache, **kwargs)
+    start = warm.group_size
+    return lambda: plan_osteal(
+        search="bracket", z_cache=z_cache, start_size=start, **kwargs
+    )
+
+
+@bench_case("decision.fsteal.cold.64x8", fragments=64, workers=8,
+            unit="seconds per cold greedy solve")
+def _fsteal_cold():
+    from repro.core.milp import make_solver
+
+    solver = make_solver("greedy")
+    problem = _random_problem(64, 8)
+    return lambda: solver.solve(problem)
+
+
+@bench_case("decision.fsteal.warm.64x8", fragments=64, workers=8,
+            unit="seconds per warm-started greedy solve")
+def _fsteal_warm():
+    from repro.core.milp import make_solver
+
+    solver = make_solver("greedy")
+    problem = _random_problem(64, 8)
+    warm = solver.solve(problem).assignment
+    return lambda: solver.solve(problem, warm_start=warm)
+
+
+@bench_case("decision.fsteal.cached.64x8", fragments=64, workers=8,
+            unit="seconds per plan-cache hit (fingerprint+repair+validate)")
+def _fsteal_cached():
+    from repro.core.decision_cache import PlanCache
+    from repro.core.milp import make_solver
+
+    solver = make_solver("greedy")
+    problem = _random_problem(64, 8)
+    cache = PlanCache()
+    key = cache.fingerprint(problem.costs, problem.workloads)
+    cache.store(key, solver.solve(problem).assignment)
+
+    def hit():
+        key = cache.fingerprint(problem.costs, problem.workloads)
+        plan = cache.fetch(key, problem)
+        assert plan is not None
+        return plan
+
+    return hit
+
+
+# ----------------------------------------------------------------------
 # Suite driver / report IO
 # ----------------------------------------------------------------------
 def run_suite(

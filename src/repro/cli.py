@@ -32,7 +32,7 @@ from repro.algorithms import ALGORITHMS
 from repro.bench import Cell, run_cell
 from repro.bench.workloads import ENGINE_NAMES
 from repro.core import GumConfig, pretrained_default
-from repro.errors import RunRegistryError
+from repro.errors import ReproError, RunRegistryError
 from repro.graph import datasets
 from repro.graph.properties import degree_summary, pseudo_diameter
 from repro.hardware import dgx1
@@ -79,6 +79,7 @@ def result_summary(result: RunResult) -> dict:
         "per_gpu_utilization": utilization_report(
             result
         )["per_gpu_utilization"],
+        "decision_cache": dict(result.decision_stats),
     }
 
 
@@ -89,6 +90,7 @@ def _gum_config_from_args(args: argparse.Namespace) -> GumConfig:
         hub_cache=not args.no_hub_cache,
         solver=args.solver,
         cost_model=args.cost_model,
+        amortize=not args.no_amortize,
     )
 
 
@@ -191,6 +193,7 @@ def _workload_from_args(args: argparse.Namespace, engine: str) -> dict:
         partitioner=args.partitioner,
         solver=args.solver,
         cost_model=args.cost_model,
+        amortize=not args.no_amortize,
     )
 
 
@@ -339,6 +342,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"  fsteal iterations : {summary['fsteal_iterations']}")
         print(f"  mean group size   : {summary['mean_group_size']:.2f}")
         print(f"  stolen edges      : {summary['stolen_edges']}")
+        cache = summary.get("decision_cache") or {}
+        if cache.get("amortize"):
+            print(
+                "  decision cache    : "
+                f"{int(cache.get('hits', 0))} hits / "
+                f"{int(cache.get('misses', 0))} misses, "
+                f"{int(cache.get('invalidations', 0))} stale, "
+                f"{int(cache.get('warm_accepts', 0))} warm accepts, "
+                f"{int(cache.get('osteal_z_reused', 0))} z reused"
+            )
         util = ", ".join(
             f"{u:.0%}" for u in summary["per_gpu_utilization"]
         )
@@ -364,9 +377,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """
     from repro.bench import perfharness
 
-    report = perfharness.run_suite(
-        names=args.filter, repeats=args.repeats
-    )
+    if args.list_cases:
+        for name in sorted(perfharness.BENCH_CASES):
+            print(name)
+        return 0
+    try:
+        report = perfharness.run_suite(
+            names=args.filter, repeats=args.repeats
+        )
+    except ReproError as exc:
+        # e.g. a --filter substring that matches nothing
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out_path = _trace_path(args.out)
     perfharness.write_report(report, out_path)
     run_id = None
@@ -589,6 +611,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-fsteal", action="store_true")
         p.add_argument("--no-osteal", action="store_true")
         p.add_argument("--no-hub-cache", action="store_true")
+        p.add_argument(
+            "--no-amortize", action="store_true",
+            help="disable decision amortization (plan cache, warm "
+                 "starts, incremental OSteal) for exact-mode "
+                 "reproduction of paper figures",
+        )
         p.add_argument("--json", action="store_true",
                        help="emit a JSON summary")
 
@@ -682,6 +710,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--filter", action="append", default=None, metavar="SUBSTR",
         help="only run cases whose name contains SUBSTR (repeatable)",
+    )
+    p_bench.add_argument(
+        "--list-cases", action="store_true",
+        help="print the registered case names and exit",
     )
     p_bench.add_argument(
         "--repeats", type=int, default=5,

@@ -1,6 +1,14 @@
 """The paper's contribution: FSteal, OSteal, cost model, GUM engine."""
 
+from repro.core.decision_cache import (
+    LruDict,
+    PlanCache,
+    plan_fingerprint,
+    quantize,
+    repair_assignment,
+)
 from repro.core.milp import (
+    AssemblyWorkspace,
     BranchAndBoundSolver,
     FStealProblem,
     FStealSolution,
@@ -49,6 +57,12 @@ __all__ = [
     "HiGHSSolver",
     "SOLVERS",
     "make_solver",
+    "AssemblyWorkspace",
+    "PlanCache",
+    "LruDict",
+    "plan_fingerprint",
+    "quantize",
+    "repair_assignment",
     "CostModel",
     "LinearSGDModel",
     "PolynomialSGDModel",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,8 +38,14 @@ from repro.core.fsteal import (
     build_cost_matrix,
     select_vertices,
 )
+from repro.core.decision_cache import (
+    LruDict,
+    PlanCache,
+    quantize,
+    repair_assignment,
+)
 from repro.core.hubcache import HubCache
-from repro.core.milp import FStealProblem, make_solver
+from repro.core.milp import FStealProblem, FStealSolution, make_solver
 from repro.core.osteal import plan_osteal
 from repro.core.reduction_tree import ReductionTree
 from repro.errors import EngineError
@@ -88,6 +94,19 @@ class GumConfig:
     osteal_cooldown:
         Minimum iterations between OSteal evaluations (Algorithm 2
         enumerates group sizes — do not pay that every tail iteration).
+    amortize:
+        Decision-amortization master switch (default on): plan caching
+        with tolerance-based fingerprint reuse, warm-started solvers,
+        and the incremental bracket OSteal search. Turning it **off**
+        is the exact-mode escape hatch — every decision is recomputed
+        from scratch and virtual-time results are bit-identical to the
+        pre-amortization code path.
+    amortize_tolerance:
+        Relative quantization width of the plan-cache fingerprints
+        (see ``repro.core.decision_cache.quantize``); ``0`` keeps the
+        cache but only ever reuses bit-identical instances.
+    plan_cache_size:
+        LRU bound on cached plans.
     overhead_mode:
         ``"modeled"`` (deterministic cost estimate — default, keeps
         runs reproducible), ``"measured"`` (charge the real wall time
@@ -109,6 +128,9 @@ class GumConfig:
     t3_runtime_seconds: float = 2.5e-3
     t4_hub_in_degree: int = 128
     osteal_cooldown: int = 10
+    amortize: bool = True
+    amortize_tolerance: float = 0.05
+    plan_cache_size: int = 64
     overhead_mode: str = "modeled"
     bandwidth_seed: int = 0
 
@@ -146,6 +168,17 @@ class _RunState:
     workload_at_decision: int = 0
     osteal_backoff: int = 0
     online_rmsre: OnlineRMSRE = field(default_factory=OnlineRMSRE)
+    # --- decision amortization ---------------------------------------
+    plan_cache: Optional[PlanCache] = None
+    warm_assignment: Optional[np.ndarray] = None
+    warm_accepts: int = 0
+    # per-fingerprint z(m) memos: cycling tail frontiers each keep
+    # their own map instead of thrashing a single shared one
+    osteal_z: LruDict = field(default_factory=lambda: LruDict(16))
+    osteal_last_fp: Optional[tuple] = None
+    osteal_invalidations: int = 0
+    osteal_z_reused: int = 0
+    osteal_z_evaluated: int = 0
 
 
 class GumScheduler(Scheduler):
@@ -185,6 +218,14 @@ class GumScheduler(Scheduler):
             hub_cache=hub_cache,
             active=list(range(topology.num_gpus)),
             group_size=topology.num_gpus,
+            plan_cache=(
+                PlanCache(
+                    max_entries=self._config.plan_cache_size,
+                    tolerance=self._config.amortize_tolerance,
+                )
+                if self._config.amortize
+                else None
+            ),
         )
         # initial p guess: one sync with everyone, spread per worker
         self._state.p_estimate = context.timing.sync_seconds(
@@ -232,16 +273,8 @@ class GumScheduler(Scheduler):
                 iteration=iteration, workload=total_workload,
             ) as osteal_span:
                 solve_started = time.perf_counter()
-                decision = plan_osteal(
-                    state.tree,
-                    state.comm_cost,
-                    features,
-                    workloads,
-                    context.fragment_home,
-                    self._cost_model,
-                    self._solver,
-                    state.p_estimate,
-                    tracer=tracer,
+                decision = self._plan_osteal(
+                    features, workloads, context, tracer
                 )
                 osteal_span.set(
                     group_size=decision.group_size,
@@ -258,7 +291,16 @@ class GumScheduler(Scheduler):
                 ).observe(time.perf_counter() - solve_started)
                 if decision.group_size != state.group_size:
                     metrics.counter("osteal.group_changes").inc()
-            modeled_overhead += self._modeled_osteal_seconds(num_workers)
+            if self._config.amortize:
+                # charge only the solves actually performed: the
+                # bracket search + z-cache makes most sizes free
+                modeled_overhead += (
+                    self._OSTEAL_EVAL_SECONDS * decision.evaluated_sizes
+                )
+            else:
+                modeled_overhead += self._modeled_osteal_seconds(
+                    num_workers
+                )
             state.last_osteal_iteration = iteration
             state.workload_at_decision = total_workload
             if decision.group_size != state.group_size:
@@ -297,18 +339,33 @@ class GumScheduler(Scheduler):
                         context.fragment_home,
                         allowed_workers=state.active,
                     )
-                    fsteal_solution = self._solver.solve(
-                        FStealProblem(costs_used, workloads)
+                    problem = FStealProblem(costs_used, workloads)
+                    if self._config.amortize:
+                        fsteal_solution = self._amortized_solve(problem)
+                    else:
+                        fsteal_solution = self._solver.solve(problem)
+                    fsteal_span.set(
+                        objective=fsteal_solution.objective,
+                        solver=fsteal_solution.solver,
+                        warm_started=fsteal_solution.warm_started,
                     )
-                    fsteal_span.set(objective=fsteal_solution.objective)
                 if metrics.enabled:
                     metrics.histogram(
                         "fsteal.solve_seconds",
                         "host wall time of the FSteal MILP",
                     ).observe(time.perf_counter() - solve_started)
-            fsteal_overhead = self._modeled_fsteal_seconds(
-                num_workers, total_frontier
+            cache_hit = (
+                fsteal_solution is not None
+                and fsteal_solution.solver == "plan-cache"
             )
+            if self._config.amortize and cache_hit:
+                fsteal_overhead = self._modeled_fsteal_cache_seconds(
+                    num_workers
+                )
+            else:
+                fsteal_overhead = self._modeled_fsteal_seconds(
+                    num_workers, total_frontier
+                )
             modeled_overhead += fsteal_overhead
             # cost-based gate (Example 5's spirit, made quantitative):
             # commit only when the predicted makespan gain covers the
@@ -353,6 +410,9 @@ class GumScheduler(Scheduler):
         else:
             raise EngineError(f"unknown overhead mode {mode!r}")
 
+        if metrics.enabled and self._config.amortize:
+            self._publish_decision_metrics(metrics, state)
+
         return IterationPlan(
             chunks=chunks,
             active_workers=list(state.active),
@@ -363,6 +423,140 @@ class GumScheduler(Scheduler):
             stolen_edges=stolen_edges,
             migrated_vertices=migrated,
         )
+
+    # --- decision amortization ----------------------------------------
+    def _amortized_solve(self, problem: FStealProblem) -> FStealSolution:
+        """Solve one FSteal instance through the amortization layer.
+
+        Order of attack: (1) plan cache — a fingerprint hit returns the
+        repaired, re-validated previous plan priced against the *live*
+        costs (``solver="plan-cache"``); (2) warm-started solve — the
+        previous iteration's assignment, repaired to the current
+        workloads, seeds the configured solver; the result is cached
+        for the next iteration either way.
+        """
+        state = self._state
+        cache = state.plan_cache
+        if cache is None:
+            return self._solver.solve(problem)
+        key = cache.fingerprint(problem.costs, problem.workloads)
+        cached = cache.fetch(key, problem)
+        if cached is not None:
+            state.warm_assignment = cached
+            return FStealSolution(
+                assignment=cached,
+                objective=problem.objective(cached),
+                solver="plan-cache",
+            )
+        warm = None
+        if state.warm_assignment is not None:
+            warm = repair_assignment(state.warm_assignment, problem)
+        solution = self._solver.solve(problem, warm_start=warm)
+        if solution.warm_started:
+            state.warm_accepts += 1
+        cache.store(key, solution.assignment)
+        state.warm_assignment = solution.assignment
+        return solution
+
+    def _plan_osteal(
+        self,
+        features: Sequence,
+        workloads: np.ndarray,
+        context: RunContext,
+        tracer,
+    ):
+        """Run Algorithm 2 — amortized (bracket + z-cache) or exact."""
+        state = self._state
+        if not self._config.amortize:
+            return plan_osteal(
+                state.tree,
+                state.comm_cost,
+                features,
+                workloads,
+                context.fragment_home,
+                self._cost_model,
+                self._solver,
+                state.p_estimate,
+                tracer=tracer,
+            )
+        # z(m) reuse is sound only while the decision inputs are the
+        # same up to tolerance: fingerprint the workload vector, the
+        # per-fragment cost-model coefficients, and the sync estimate.
+        tol = self._config.amortize_tolerance
+        g_values = np.array([
+            0.0 if f.total_edges == 0
+            else self._cost_model.edge_cost_seconds(f)
+            for f in features
+        ])
+        fp = (
+            quantize(np.asarray(workloads, dtype=np.float64), tol),
+            quantize(g_values, tol),
+            quantize(np.array([state.p_estimate]), tol),
+        )
+        if state.osteal_last_fp is not None and fp != state.osteal_last_fp:
+            state.osteal_invalidations += 1
+        state.osteal_last_fp = fp
+        z_cache = state.osteal_z.get_or_create(fp, dict)
+        decision = plan_osteal(
+            state.tree,
+            state.comm_cost,
+            features,
+            workloads,
+            context.fragment_home,
+            self._cost_model,
+            self._solver,
+            state.p_estimate,
+            tracer=tracer,
+            search="bracket",
+            z_cache=z_cache,
+            start_size=state.group_size or None,
+            solve=self._amortized_solve,
+        )
+        state.osteal_z_reused += decision.reused_sizes
+        state.osteal_z_evaluated += decision.evaluated_sizes
+        return decision
+
+    def _publish_decision_metrics(self, metrics, state: _RunState) -> None:
+        """Mirror cumulative amortization counters into the registry."""
+        values = {
+            "decision.warm.accepts": state.warm_accepts,
+            "decision.osteal.z_reused": state.osteal_z_reused,
+            "decision.osteal.z_evaluated": state.osteal_z_evaluated,
+            "decision.osteal.invalidations": state.osteal_invalidations,
+        }
+        if state.plan_cache is not None:
+            stats = state.plan_cache.stats()
+            values.update({
+                "decision.cache.hits": stats["hits"],
+                "decision.cache.misses": stats["misses"],
+                "decision.cache.invalidations": stats["invalidations"],
+                "decision.cache.evictions": stats["evictions"],
+            })
+        for name, total in values.items():
+            counter = metrics.counter(name)
+            delta = float(total) - counter.value()
+            if delta > 0:
+                counter.inc(delta)
+
+    def finish_run(self, context: RunContext) -> Optional[Dict[str, float]]:
+        """Decision-amortization summary, surfaced on the run result."""
+        del context
+        state = self._state
+        if state is None:
+            return None
+        stats: Dict[str, float] = {
+            "amortize": bool(self._config.amortize),
+            "warm_accepts": int(state.warm_accepts),
+            "osteal_z_reused": int(state.osteal_z_reused),
+            "osteal_z_evaluated": int(state.osteal_z_evaluated),
+            "osteal_invalidations": int(state.osteal_invalidations),
+        }
+        if state.plan_cache is not None:
+            stats.update(state.plan_cache.stats())
+        else:
+            stats.update({"hits": 0, "misses": 0, "invalidations": 0,
+                          "evictions": 0, "entries": 0})
+        return stats
 
     # ------------------------------------------------------------------
     def _observe_cost_model(
@@ -591,6 +785,20 @@ class GumScheduler(Scheduler):
         """
         del frontier_size
         return 1.2e-4 + 1e-6 * num_workers * num_workers
+
+    @staticmethod
+    def _modeled_fsteal_cache_seconds(num_workers: int) -> float:
+        """FSteal decision latency on a plan-cache hit.
+
+        A hit skips the solve entirely: fingerprint hashing, the
+        repair rescale, and the feasibility re-validation remain —
+        all linear-ish in the assignment matrix, far below a solve.
+        """
+        return 2e-5 + 2.5e-7 * num_workers * num_workers
+
+    #: Modeled cost of one fresh z(m) evaluation in the bracket search
+    #: (same per-size rate the exhaustive scan model charges).
+    _OSTEAL_EVAL_SECONDS = 8e-5
 
     @staticmethod
     def _modeled_osteal_seconds(num_workers: int) -> float:

@@ -1,0 +1,299 @@
+"""Decision amortization: fingerprinted plan caching for the hot path.
+
+Table IV charges the arbitrator's decision latency into every
+superstep, so GUM only wins while deciding stays cheap. On long-tail
+road graphs the scheduler faces thousands of *near-identical* FSteal
+instances: the workload vector drifts slowly, the active-worker set is
+stable, and the cost coefficients change only when the cost model or
+the measured bandwidth does. Adaptive load balancers exploit exactly
+this stability by reusing decisions while the distribution holds
+(Jatala et al.); this module provides the machinery:
+
+* :func:`quantize` — log-bucket a nonnegative vector so that values
+  within a relative ``tolerance`` of each other collapse into the same
+  bucket (the "quantized fingerprint" of the workload/cost vectors);
+* :func:`plan_fingerprint` — the cache key of one FSteal instance:
+  quantized workloads, the active-worker set, and quantized cost
+  coefficients (``inf`` entries — evicted workers — keep their own
+  sentinel, so a shrunk group never matches a wider one);
+* :func:`repair_assignment` — rescale a cached assignment to the
+  *current* workload vector (tolerance-based reuse is only sound
+  because the repaired plan is re-validated exactly);
+* :class:`PlanCache` — bounded LRU of repaired-and-validated plans
+  with hit/miss/invalidation/eviction counters;
+* :class:`LruDict` — the bounded mapping underneath, also used for
+  the incremental-OSteal ``z(m)`` memo keyed by fingerprint.
+
+Everything here is *advisory*: a fetched plan has passed
+``FStealProblem.validate_assignment`` against the live problem, so a
+stale or mis-bucketed entry degrades to a cache miss, never to an
+infeasible plan. Disabling the layer (``GumConfig.amortize=False``)
+bypasses this module entirely and reproduces pre-amortization virtual
+times bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.milp import FStealProblem
+from repro.errors import SolverError
+
+__all__ = [
+    "quantize",
+    "plan_fingerprint",
+    "repair_assignment",
+    "LruDict",
+    "PlanCache",
+]
+
+#: Bucket sentinels for values a logarithm cannot represent.
+_ZERO_BUCKET = -(2**62)
+_INF_BUCKET = 2**62
+
+
+def quantize(values: np.ndarray, tolerance: float) -> bytes:
+    """Log-bucket a nonnegative vector into a hashable fingerprint.
+
+    Two vectors quantize identically when every entry falls in the
+    same multiplicative bucket of width ``1 + tolerance`` (bucket ``k``
+    covers roughly ``[(1+tol)^(k-1/2), (1+tol)^(k+1/2))``), so a
+    uniform relative drift below ~``tolerance/2`` keeps the
+    fingerprint stable. Zeros and ``inf`` (forbidden pairings) get
+    their own sentinels — a worker leaving the group always changes
+    the fingerprint. ``tolerance <= 0`` degenerates to the exact
+    bit pattern (no tolerance-based reuse).
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64).ravel()
+    if tolerance <= 0.0:
+        return values.tobytes()
+    buckets = np.full(values.shape, _ZERO_BUCKET, dtype=np.int64)
+    buckets[np.isinf(values)] = _INF_BUCKET
+    finite_pos = (values > 0) & np.isfinite(values)
+    if np.any(finite_pos):
+        buckets[finite_pos] = np.round(
+            np.log(values[finite_pos]) / math.log1p(tolerance)
+        ).astype(np.int64)
+    return buckets.tobytes()
+
+
+def plan_fingerprint(
+    costs: np.ndarray,
+    workloads: np.ndarray,
+    tolerance: float,
+    active: Optional[Sequence[int]] = None,
+) -> Tuple:
+    """Cache key of one FSteal instance.
+
+    Covers the per-fragment workload vector, the active-worker set
+    (derived from the finite cost columns when not given), and the
+    cost coefficients, each quantized with ``tolerance``. The matrix
+    shape is included so transposed/reshaped instances can never
+    collide.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if active is None:
+        active_key = tuple(
+            np.flatnonzero(np.isfinite(costs).any(axis=0)).tolist()
+        )
+    else:
+        active_key = tuple(int(j) for j in active)
+    return (
+        costs.shape,
+        active_key,
+        quantize(np.asarray(workloads, dtype=np.float64), tolerance),
+        quantize(costs, tolerance),
+    )
+
+
+def repair_assignment(
+    assignment: np.ndarray,
+    problem: FStealProblem,
+) -> Optional[np.ndarray]:
+    """Rescale a previous assignment to the current problem, or ``None``.
+
+    Work parked on now-forbidden workers (evicted by OSteal) is pulled
+    back, then every fragment row is rescaled to its current workload
+    by largest-remainder apportionment over the allowed workers —
+    preserving the old plan's *shape* (the relative split the solver
+    chose) while conserving the new ``l_i`` exactly. Returns ``None``
+    when the shapes mismatch or some fragment has no allowed worker
+    left; callers must still run
+    :meth:`FStealProblem.validate_assignment` on the result (the
+    cache does) before trusting it.
+    """
+    costs, workloads = problem.costs, problem.workloads
+    assignment = np.asarray(assignment)
+    if assignment.shape != costs.shape or np.any(assignment < 0):
+        return None
+    allowed = np.isfinite(costs)
+    out = assignment.astype(np.int64, copy=True)
+    out[~allowed] = 0
+    row_sums = out.sum(axis=1)
+    if np.array_equal(row_sums, workloads):
+        return out
+    for i in np.flatnonzero(row_sums != workloads).tolist():
+        target = int(workloads[i])
+        if target == 0:
+            out[i] = 0
+            continue
+        total = int(row_sums[i])
+        if total == 0:
+            # the old plan had nothing here: seed the cheapest worker
+            candidates = np.flatnonzero(allowed[i])
+            if candidates.size == 0:
+                return None
+            cheapest = candidates[int(np.argmin(costs[i, candidates]))]
+            out[i] = 0
+            out[i, cheapest] = target
+            continue
+        exact = out[i] * (target / total)
+        floor = np.floor(exact).astype(np.int64)
+        deficit = target - int(floor.sum())
+        if deficit > 0:
+            remainders = exact - floor
+            remainders[~allowed[i]] = -1.0
+            top = np.argsort(-remainders, kind="stable")[:deficit]
+            floor[top] += 1
+        out[i] = floor
+    return out
+
+
+class LruDict:
+    """Bounded mapping with least-recently-used eviction.
+
+    The storage primitive under :class:`PlanCache` and the OSteal
+    ``z(m)`` memo: reads refresh recency, inserts beyond
+    ``max_entries`` evict the stalest entry.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise SolverError(
+                f"LruDict needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        """Value for ``key`` (refreshing its recency), else ``default``."""
+        if key not in self._entries:
+            return default
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key, value) -> None:
+        """Insert/overwrite ``key``, evicting the stalest past the cap."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_create(self, key, factory: Callable[[], object]):
+        """Like :meth:`get` but inserting ``factory()`` on a miss."""
+        value = self.get(key, default=None)
+        if value is None:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def pop(self, key) -> None:
+        """Drop ``key`` if present (not counted as an eviction)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry (not counted as evictions)."""
+        self._entries.clear()
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PlanCache:
+    """LRU cache of FSteal assignments keyed by quantized fingerprints.
+
+    ``fetch`` returns a plan only after repairing it to the live
+    workload vector and re-validating it against the live problem —
+    a failed repair/validation *invalidates* the entry (staleness) and
+    reads as a miss, so callers can treat any returned assignment as
+    exactly feasible.
+    """
+
+    def __init__(
+        self, max_entries: int = 64, tolerance: float = 0.05
+    ) -> None:
+        self.tolerance = float(tolerance)
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries = LruDict(max_entries)
+
+    def fingerprint(
+        self,
+        costs: np.ndarray,
+        workloads: np.ndarray,
+        active: Optional[Sequence[int]] = None,
+    ) -> Tuple:
+        """Cache key for one problem (see :func:`plan_fingerprint`)."""
+        return plan_fingerprint(costs, workloads, self.tolerance, active)
+
+    def fetch(
+        self, key: Tuple, problem: FStealProblem
+    ) -> Optional[np.ndarray]:
+        """A repaired, validated assignment for ``key`` — or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        repaired = repair_assignment(entry, problem)
+        if repaired is not None:
+            try:
+                problem.validate_assignment(repaired)
+            except SolverError:
+                repaired = None
+        if repaired is None:
+            # stale: tolerance admitted a problem the old plan cannot
+            # serve (active set shrank, coefficients moved, ...)
+            self._entries.pop(key)
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return repaired
+
+    def store(self, key: Tuple, assignment: np.ndarray) -> None:
+        """Remember a solved assignment under ``key``."""
+        self._entries.put(
+            key, np.asarray(assignment, dtype=np.int64).copy()
+        )
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by the LRU bound."""
+        return self._entries.evictions
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (plain ints, JSON-friendly)."""
+        return {
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+            "invalidations": int(self.invalidations),
+            "evictions": int(self.evictions),
+            "entries": int(len(self)),
+        }

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Type, Union
+from typing import Dict, Optional, Type, Union
 
 import numpy as np
 from scipy import sparse
@@ -41,6 +41,7 @@ __all__ = [
     "FStealProblem",
     "FStealSolution",
     "FStealSolver",
+    "AssemblyWorkspace",
     "GreedySolver",
     "LPRoundingSolver",
     "BranchAndBoundSolver",
@@ -114,24 +115,45 @@ class FStealProblem:
 
 @dataclass(frozen=True)
 class FStealSolution:
-    """Solver output: integral assignment matrix and achieved min-max."""
+    """Solver output: integral assignment matrix and achieved min-max.
+
+    ``warm_started`` records that the returned assignment descends from
+    a caller-supplied previous iteration's plan (decision amortization)
+    rather than a cold seed — Table IV accounting and the run summary
+    track how often warm starts actually win.
+    """
 
     assignment: np.ndarray
     objective: float
     solver: str
+    warm_started: bool = False
 
 
 class FStealSolver(abc.ABC):
-    """Common solver interface."""
+    """Common solver interface.
+
+    ``solve`` optionally accepts the previous iteration's assignment as
+    a warm start. Heuristic backends use it as an extra refinement seed
+    or incumbent upper bound; exact backends may ignore it. An
+    infeasible warm start (stale shape, forbidden workers) is silently
+    discarded — it is advisory, never binding.
+    """
 
     name: str = "abstract"
 
     @abc.abstractmethod
-    def solve(self, problem: FStealProblem) -> FStealSolution:
+    def solve(
+        self,
+        problem: FStealProblem,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> FStealSolution:
         """Return a feasible integral solution."""
 
     def _finish(
-        self, problem: FStealProblem, assignment: np.ndarray
+        self,
+        problem: FStealProblem,
+        assignment: np.ndarray,
+        warm_started: bool = False,
     ) -> FStealSolution:
         assignment = np.rint(assignment).astype(np.int64)
         problem.validate_assignment(assignment)
@@ -139,7 +161,22 @@ class FStealSolver(abc.ABC):
             assignment=assignment,
             objective=problem.objective(assignment),
             solver=self.name,
+            warm_started=warm_started,
         )
+
+    @staticmethod
+    def _usable_warm_start(
+        problem: FStealProblem, warm_start: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """The warm start as a validated int64 matrix, or ``None``."""
+        if warm_start is None:
+            return None
+        warm = np.asarray(warm_start)
+        try:
+            problem.validate_assignment(warm)
+        except SolverError:
+            return None
+        return warm.astype(np.int64, copy=True)
 
 
 def _no_work_solution(problem: FStealProblem, name: str) -> FStealSolution:
@@ -175,7 +212,11 @@ class GreedySolver(FStealSolver):
     def __init__(self, refine_steps: int = 256) -> None:
         self._refine_steps = int(refine_steps)
 
-    def solve(self, problem: FStealProblem) -> FStealSolution:
+    def solve(
+        self,
+        problem: FStealProblem,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> FStealSolution:
         """Return a feasible integral solution."""
         n_frag, n_work = problem.num_fragments, problem.num_workers
         if problem.workloads.sum() == 0:
@@ -209,7 +250,19 @@ class GreedySolver(FStealSolver):
             if objective < best_objective:
                 best, best_objective = assignment, objective
         assert best is not None  # seeds is never empty
-        return self._finish(problem, best)
+        # Warm seed last, accepted only on strict improvement: when it
+        # ties the cold seeds the cold result is returned, so a warm
+        # start can never change an outcome the cold path would reach.
+        warm_won = False
+        warm = self._usable_warm_start(problem, warm_start)
+        if warm is not None:
+            safe = np.where(np.isfinite(problem.costs), problem.costs, 0.0)
+            finish = (safe * warm).sum(axis=0)
+            self._refine(problem, warm, finish)
+            objective = problem.objective(warm)
+            if objective < best_objective:
+                best, best_objective, warm_won = warm, objective, True
+        return self._finish(problem, best, warm_started=warm_won)
 
     def _refine(
         self,
@@ -294,8 +347,34 @@ class _ConstraintSystem:
     scale: float
 
 
+class AssemblyWorkspace:
+    """Preallocated dense buffers for repeated constraint assembly.
+
+    The scheduler re-solves near-identical instances every iteration;
+    when the fragments×workers shape is unchanged the dense assembly
+    path can reuse its ``c``/``A_ub``/``A_eq`` arrays instead of
+    allocating fresh ones. Buffers are re-zeroed before use, so the
+    assembled system is bit-identical to a cold allocation.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def zeros(self, tag: str, shape: tuple) -> np.ndarray:
+        """A zeroed float64 array of ``shape``, reused per (tag, shape)."""
+        buf = self._buffers.get((tag, shape))
+        if buf is None:
+            buf = np.zeros(shape)
+            self._buffers[(tag, shape)] = buf
+        else:
+            buf.fill(0.0)
+        return buf
+
+
 def _assemble_constraints(
-    problem: FStealProblem, use_sparse: bool = False
+    problem: FStealProblem,
+    use_sparse: bool = False,
+    workspace: Optional[AssemblyWorkspace] = None,
 ) -> _ConstraintSystem:
     """Build the shared constraint system, fully vectorized.
 
@@ -303,7 +382,8 @@ def _assemble_constraints(
     Equality rows (one per fragment with work): ``sum_j x_ij = l_i``.
     ``use_sparse`` emits ``scipy.sparse`` matrices — the constraint
     matrix has only one x-column entry per allowed pair, so density
-    falls off linearly with problem size.
+    falls off linearly with problem size. ``workspace`` lets the dense
+    path reuse preallocated buffers across same-shape instances.
     """
     scale = _cost_scale(problem.costs)
     costs, workloads = problem.costs / scale, problem.workloads
@@ -314,7 +394,10 @@ def _assemble_constraints(
     frag_idx, work_idx = np.nonzero(allowed)
     num_x = int(frag_idx.size)
     num_vars = num_x + 1  # + z
-    c = np.zeros(num_vars)
+    if workspace is not None and not use_sparse:
+        c = workspace.zeros("c", (num_vars,))
+    else:
+        c = np.zeros(num_vars)
     c[-1] = 1.0
     b_ub = np.zeros(n_work)
     rows = np.flatnonzero(workloads > 0)
@@ -339,10 +422,14 @@ def _assemble_constraints(
             shape=(rows.size, num_vars),
         )
     else:
-        a_ub = np.zeros((n_work, num_vars))
+        if workspace is not None:
+            a_ub = workspace.zeros("a_ub", (n_work, num_vars))
+            a_eq = workspace.zeros("a_eq", (rows.size, num_vars))
+        else:
+            a_ub = np.zeros((n_work, num_vars))
+            a_eq = np.zeros((rows.size, num_vars))
         a_ub[work_idx, var_ids] = coefficients
         a_ub[:, -1] = -1.0
-        a_eq = np.zeros((rows.size, num_vars))
         a_eq[row_of_fragment[frag_idx], var_ids] = 1.0
     return _ConstraintSystem(
         c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
@@ -352,12 +439,13 @@ def _assemble_constraints(
 
 def _lp_relaxation(
     problem: FStealProblem,
+    workspace: Optional[AssemblyWorkspace] = None,
 ) -> tuple[np.ndarray, float, np.ndarray]:
     """Solve the LP relaxation; return (x matrix, z, variable mask).
 
     Variables: one per allowed (i, j) pair plus the epigraph variable z.
     """
-    system = _assemble_constraints(problem)
+    system = _assemble_constraints(problem, workspace=workspace)
     if system.num_x == 0:
         return (
             np.zeros((problem.num_fragments, problem.num_workers)),
@@ -408,15 +496,29 @@ def _round_lp(problem: FStealProblem, fractional: np.ndarray) -> np.ndarray:
 
 
 class LPRoundingSolver(FStealSolver):
-    """Exact LP relaxation + largest-remainder rounding."""
+    """Exact LP relaxation + largest-remainder rounding.
+
+    The LP relaxation is exact, so a warm start cannot improve on it —
+    it is accepted for interface uniformity and ignored.
+    """
 
     name = "lp"
 
-    def solve(self, problem: FStealProblem) -> FStealSolution:
+    def __init__(self) -> None:
+        self._workspace = AssemblyWorkspace()
+
+    def solve(
+        self,
+        problem: FStealProblem,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> FStealSolution:
         """Return a feasible integral solution."""
+        del warm_start  # exact relaxation: nothing to seed
         if problem.workloads.sum() == 0:
             return _no_work_solution(problem, self.name)
-        fractional, __, __ = _lp_relaxation(problem)
+        fractional, __, __ = _lp_relaxation(
+            problem, workspace=self._workspace
+        )
         return self._finish(problem, _round_lp(problem, fractional))
 
 
@@ -435,12 +537,19 @@ class BranchAndBoundSolver(FStealSolver):
     def __init__(self, max_nodes: int = 50, tolerance: float = 1e-9) -> None:
         self._max_nodes = int(max_nodes)
         self._tol = float(tolerance)
+        self._workspace = AssemblyWorkspace()
 
-    def solve(self, problem: FStealProblem) -> FStealSolution:
+    def solve(
+        self,
+        problem: FStealProblem,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> FStealSolution:
         """Return a feasible integral solution."""
         if problem.workloads.sum() == 0:
             return _no_work_solution(problem, self.name)
-        fractional, lp_value, __ = _lp_relaxation(problem)
+        fractional, lp_value, __ = _lp_relaxation(
+            problem, workspace=self._workspace
+        )
         incumbent = _round_lp(problem, fractional)
         incumbent_value = problem.objective(incumbent)
         # Integrality test: if the LP solution is already integral (up
@@ -451,6 +560,16 @@ class BranchAndBoundSolver(FStealSolver):
         frac_part = np.abs(fractional - np.rint(fractional))
         if frac_part.max() <= self._tol:
             return self._finish(problem, np.rint(fractional))
+        # A validated warm start whose objective beats the rounding
+        # incumbent becomes the initial incumbent: a tighter upper
+        # bound lets the optimality certificate fire without diving.
+        warm_won = False
+        warm = self._usable_warm_start(problem, warm_start)
+        if warm is not None:
+            warm_value = problem.objective(warm)
+            if warm_value < incumbent_value:
+                incumbent, incumbent_value = warm, warm_value
+                warm_won = True
         finite_costs = problem.costs[np.isfinite(problem.costs)]
         unit_gap = float(finite_costs.max()) if finite_costs.size else 0.0
         nodes = 0
@@ -466,18 +585,30 @@ class BranchAndBoundSolver(FStealSolver):
             value = problem.objective(jitter)
             if value < best[0]:
                 best = (value, jitter)
+                warm_won = False
             else:
                 break
-        return self._finish(problem, best[1])
+        return self._finish(
+            problem, best[1], warm_started=warm_won and best[1] is incumbent
+        )
 
 
 class HiGHSSolver(FStealSolver):
-    """``scipy.optimize.milp`` backend (the SCIP stand-in)."""
+    """``scipy.optimize.milp`` backend (the SCIP stand-in).
+
+    ``scipy.optimize.milp`` exposes no incumbent-injection API, so the
+    warm start is accepted and ignored.
+    """
 
     name = "highs"
 
-    def solve(self, problem: FStealProblem) -> FStealSolution:
+    def solve(
+        self,
+        problem: FStealProblem,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> FStealSolution:
         """Return a feasible integral solution."""
+        del warm_start  # scipy.optimize.milp cannot inject incumbents
         if problem.workloads.sum() == 0:
             return _no_work_solution(problem, self.name)
         system = _assemble_constraints(problem, use_sparse=True)

@@ -269,6 +269,19 @@ class MetricsRegistry:
             for name in self.names()
         }
 
+    def collect(self, prefix: str) -> Dict[str, Dict[str, object]]:
+        """Snapshots of the instruments whose name starts with ``prefix``.
+
+        The cheap way for report code to pull one subsystem's metrics
+        (e.g. every ``decision.*`` counter) without walking the full
+        registry snapshot.
+        """
+        return {
+            name: self._instruments[name].snapshot()
+            for name in self.names()
+            if name.startswith(prefix)
+        }
+
 
 class _NullInstrument:
     """Discards every update; satisfies all three instrument APIs."""

@@ -77,6 +77,14 @@ RUN_METRICS = (
     MetricSpec("min_group_size", gated=False, note="policy behaviour"),
     MetricSpec("real_decision_ms", gated=False,
                note="host clock; machine-dependent"),
+    MetricSpec("decision_cache.hits", gated=False,
+               note="amortization behaviour"),
+    MetricSpec("decision_cache.misses", gated=False,
+               note="amortization behaviour"),
+    MetricSpec("decision_cache.invalidations", gated=False,
+               note="amortization behaviour"),
+    MetricSpec("decision_cache.warm_accepts", gated=False,
+               note="amortization behaviour"),
 )
 
 

@@ -66,6 +66,7 @@ WORKLOAD_KEYS = (
     "cost_model",
     "seed",
     "partition_seed",
+    "amortize",
 )
 
 
@@ -92,6 +93,7 @@ def workload_fingerprint(
     cost_model: str = "default",
     seed: int = config.DEFAULT_SEED,
     partition_seed: int = 0,
+    amortize: bool = True,
 ) -> Dict[str, object]:
     """The identity half of a run fingerprint (diff precondition)."""
     return {
@@ -104,6 +106,7 @@ def workload_fingerprint(
         "cost_model": str(cost_model),
         "seed": int(seed),
         "partition_seed": int(partition_seed),
+        "amortize": bool(amortize),
     }
 
 

@@ -237,6 +237,9 @@ class BSPEngine:
                 if record.osteal_group_size is not None:
                     prev_group = record.osteal_group_size
                 state.iteration += 1
+            decision_stats = self._scheduler.finish_run(context)
+            if decision_stats:
+                result.decision_stats = dict(decision_stats)
             run_span.set(iterations=state.iteration,
                          virtual_total_ms=virtual_clock * 1e3)
         result.values = state.values

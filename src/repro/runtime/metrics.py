@@ -111,6 +111,10 @@ class RunResult:
     converged: bool = True
     real_decision_seconds: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Scheduler-reported run-level decision statistics (plan-cache
+    #: hit counters, warm-start accepts, ...); empty for stateless
+    #: policies.
+    decision_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

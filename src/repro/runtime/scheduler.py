@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -117,6 +117,15 @@ class Scheduler(abc.ABC):
 
     def observe(self, record: IterationRecord, context: RunContext) -> None:
         """Feedback after the engine priced and ran the iteration."""
+
+    def finish_run(self, context: RunContext) -> Optional[Dict[str, float]]:
+        """Called once after the last iteration; optional summary stats.
+
+        Stateful policies report run-level decision statistics here
+        (e.g. the GUM arbitrator's plan-cache hit counters); the engine
+        attaches the returned mapping to the run result.
+        """
+        return None
 
 
 class StaticScheduler(Scheduler):
