@@ -32,10 +32,18 @@ Quick start::
 """
 
 from repro import config
+from repro.chaos import (
+    ChaosController,
+    ChaosScenario,
+    FallbackSolver,
+    FaultSpec,
+)
 from repro.errors import (
     ConvergenceError,
     CostModelError,
+    DegradedModeError,
     EngineError,
+    FaultInjectionError,
     GraphError,
     PartitionError,
     ReproError,
@@ -116,6 +124,13 @@ __all__ = [
     "EngineError",
     "ConvergenceError",
     "CostModelError",
+    "FaultInjectionError",
+    "DegradedModeError",
+    # chaos
+    "ChaosScenario",
+    "FaultSpec",
+    "ChaosController",
+    "FallbackSolver",
     # graph
     "CSRGraph",
     "from_edges",

@@ -77,6 +77,7 @@ class GunrockEngine(BSPEngine):
         near_far_sync_factor: float = 2.0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chaos=None,
     ) -> None:
         super().__init__(
             topology,
@@ -86,6 +87,7 @@ class GunrockEngine(BSPEngine):
             name="gunrock",
             tracer=tracer,
             metrics=metrics,
+            chaos=chaos,
         )
         self._near_far = bool(near_far_sssp)
         self._nf_work = float(near_far_work_factor)

@@ -48,6 +48,7 @@ def run_cell(
     max_iterations: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    chaos=None,
 ) -> RunResult:
     """Execute one benchmark cell and return its result."""
     graph = prepare_graph(cell.graph, cell.algorithm)
@@ -56,7 +57,7 @@ def run_cell(
     )
     engine = make_engine(
         cell.engine, cell.num_gpus, gum_config=gum_config, options=options,
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, chaos=chaos,
     )
     params = algorithm_params(cell.algorithm, cell.graph)
     return engine.run(

@@ -105,16 +105,27 @@ def make_engine(
     options: Optional[EngineOptions] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    chaos=None,
 ):
     """Engine factory for the benchmark matrix.
 
     Names: ``gum``, ``gunrock``, ``groute``, plus the ablation arms
     ``gum-nosteal`` (GUM plumbing, stealing off) and ``bsp`` (plain
     static BSP engine without any Gunrock algorithm tricks). A tracer
-    and/or metrics registry attaches to any of them.
+    and/or metrics registry attaches to any of them; a
+    :class:`~repro.chaos.ChaosController` attaches to every BSP-based
+    engine (Groute's asynchronous runtime has no superstep boundary to
+    inject at, so it rejects chaos).
     """
     topology = dgx1(num_gpus)
     obs = {"tracer": tracer, "metrics": metrics}
+    if chaos is not None:
+        if name == "groute":
+            raise EngineError(
+                "fault injection requires a BSP-style engine; "
+                "groute's asynchronous runtime is not supported"
+            )
+        obs["chaos"] = chaos
     if name == "gum":
         return GumEngine(topology, config=gum_config, options=options,
                          **obs)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import config as repro_config
+from repro.chaos.controller import SOLVER_TIMEOUT_SECONDS, FaultEvent
 from repro.core.costmodel import (
     CostModel,
     OnlineRMSRE,
@@ -155,11 +156,21 @@ class GumConfig:
 
 @dataclass
 class _RunState:
-    """Per-run mutable arbitrator state."""
+    """Per-run mutable arbitrator state.
+
+    ``solver`` is the per-run solving interface: the configured solver
+    itself on healthy runs, or a chaos-aware
+    :class:`~repro.chaos.fallback.FallbackSolver` wrap when a fault
+    controller is attached. ``heirs`` records, for every killed
+    worker, which survivor inherited its fragments (chains resolve
+    through later deaths).
+    """
 
     comm_cost: np.ndarray
     tree: ReductionTree
     hub_cache: Optional[HubCache]
+    solver: object = None
+    heirs: Dict[int, int] = field(default_factory=dict)
     active: List[int] = field(default_factory=list)
     group_size: int = 0
     prev_wall: float = float("inf")
@@ -179,6 +190,51 @@ class _RunState:
     osteal_invalidations: int = 0
     osteal_z_reused: int = 0
     osteal_z_evaluated: int = 0
+
+
+class _EvictedTree:
+    """Reduction tree over the survivors of worker eviction.
+
+    Presents the :class:`ReductionTree` interface (``ownership``,
+    ``active_workers``) in *original* GPU ids while folding only among
+    alive workers: the inner tree is built on ``topology.subset`` of
+    the survivors, and dead fragments chase the heir chain recorded at
+    eviction time. Group sizes beyond the survivor count clamp to it —
+    the degraded machine simply has fewer rungs to unfold.
+    """
+
+    def __init__(self, topology, alive: Sequence[int],
+                 heirs: Dict[int, int]) -> None:
+        self._alive = [int(w) for w in alive]
+        self._heirs = dict(heirs)
+        self._num_gpus = topology.num_gpus
+        self._local = {w: i for i, w in enumerate(self._alive)}
+        self._inner = ReductionTree(topology.subset(self._alive))
+
+    def _resolve(self, worker: int) -> int:
+        # death is monotone within a run, so the chain cannot cycle
+        while worker in self._heirs:
+            worker = self._heirs[worker]
+        return worker
+
+    def _clamp(self, group_size: int) -> int:
+        return max(1, min(int(group_size), len(self._alive)))
+
+    def active_workers(self, group_size: int) -> List[int]:
+        """Sorted surviving worker ids (original numbering)."""
+        local = self._inner.active_workers(self._clamp(group_size))
+        return [self._alive[w] for w in local]
+
+    def ownership(self, group_size: int) -> np.ndarray:
+        """Fragment -> worker vector ``O`` over all original fragments."""
+        inner_own = self._inner.ownership(self._clamp(group_size))
+        out = np.empty(self._num_gpus, dtype=inner_own.dtype)
+        for fragment in range(self._num_gpus):
+            holder = self._resolve(fragment)
+            out[fragment] = self._alive[
+                int(inner_own[self._local[holder]])
+            ]
+        return out
 
 
 class GumScheduler(Scheduler):
@@ -212,10 +268,21 @@ class GumScheduler(Scheduler):
             if self._config.hub_cache
             else None
         )
+        # the fallback chain only wraps the solver under fault
+        # injection, so healthy runs call the configured backend with
+        # zero indirection (bit-identical virtual times); imported
+        # lazily — chaos.fallback builds on core.milp, so a module-level
+        # import would be circular
+        solver = self._solver
+        if context.chaos is not None:
+            from repro.chaos.fallback import FallbackSolver
+
+            solver = FallbackSolver(self._solver, context.chaos)
         self._state = _RunState(
             comm_cost=comm_cost,
             tree=ReductionTree(topology),
             hub_cache=hub_cache,
+            solver=solver,
             active=list(range(topology.num_gpus)),
             group_size=topology.num_gpus,
             plan_cache=(
@@ -328,8 +395,8 @@ class GumScheduler(Scheduler):
                 with tracer.span(
                     "gum.fsteal.milp", track="coordinator", cat="fsteal",
                     iteration=iteration,
-                    solver=getattr(self._solver, "name",
-                                   type(self._solver).__name__),
+                    solver=getattr(state.solver, "name",
+                                   type(state.solver).__name__),
                 ) as fsteal_span:
                     solve_started = time.perf_counter()
                     costs_used = build_cost_matrix(
@@ -343,7 +410,7 @@ class GumScheduler(Scheduler):
                     if self._config.amortize:
                         fsteal_solution = self._amortized_solve(problem)
                     else:
-                        fsteal_solution = self._solver.solve(problem)
+                        fsteal_solution = state.solver.solve(problem)
                     fsteal_span.set(
                         objective=fsteal_solution.objective,
                         solver=fsteal_solution.solver,
@@ -399,6 +466,14 @@ class GumScheduler(Scheduler):
             context, fragment_frontiers, workloads, fsteal_solution
         )
 
+        if context.chaos is not None:
+            # each injected solver timeout burned the abandoned solve's
+            # budget before a fallback backend could take over
+            modeled_overhead += (
+                SOLVER_TIMEOUT_SECONDS
+                * context.chaos.drain_timeout_charges()
+            )
+
         real_elapsed = time.perf_counter() - started
         mode = self._config.overhead_mode
         if mode == "modeled":
@@ -438,7 +513,7 @@ class GumScheduler(Scheduler):
         state = self._state
         cache = state.plan_cache
         if cache is None:
-            return self._solver.solve(problem)
+            return state.solver.solve(problem)
         key = cache.fingerprint(problem.costs, problem.workloads)
         cached = cache.fetch(key, problem)
         if cached is not None:
@@ -451,7 +526,7 @@ class GumScheduler(Scheduler):
         warm = None
         if state.warm_assignment is not None:
             warm = repair_assignment(state.warm_assignment, problem)
-        solution = self._solver.solve(problem, warm_start=warm)
+        solution = state.solver.solve(problem, warm_start=warm)
         if solution.warm_started:
             state.warm_accepts += 1
         cache.store(key, solution.assignment)
@@ -467,6 +542,11 @@ class GumScheduler(Scheduler):
     ):
         """Run Algorithm 2 — amortized (bracket + z-cache) or exact."""
         state = self._state
+        # only survivors can appear in a group once workers have been
+        # evicted; on healthy runs the enumeration stays 1..n untouched
+        sizes = None
+        if context.chaos is not None and context.chaos.dead_workers:
+            sizes = range(1, len(context.chaos.alive_workers()) + 1)
         if not self._config.amortize:
             return plan_osteal(
                 state.tree,
@@ -475,8 +555,9 @@ class GumScheduler(Scheduler):
                 workloads,
                 context.fragment_home,
                 self._cost_model,
-                self._solver,
+                state.solver,
                 state.p_estimate,
+                candidate_sizes=sizes,
                 tracer=tracer,
             )
         # z(m) reuse is sound only while the decision inputs are the
@@ -504,8 +585,9 @@ class GumScheduler(Scheduler):
             workloads,
             context.fragment_home,
             self._cost_model,
-            self._solver,
+            state.solver,
             state.p_estimate,
+            candidate_sizes=sizes,
             tracer=tracer,
             search="bracket",
             z_cache=z_cache,
@@ -598,6 +680,61 @@ class GumScheduler(Scheduler):
         if record.num_active > 0 and record.breakdown.sync > 0:
             observed_p = record.breakdown.sync / record.num_active
             state.p_estimate = 0.5 * state.p_estimate + 0.5 * observed_p
+
+    # ------------------------------------------------------------------
+    def on_fault(self, event: FaultEvent, context: RunContext) -> None:
+        """Rebuild machine-derived state after an injected fault.
+
+        The engine has already applied the fault's semantics
+        (``fragment_worker`` eviction, ``context.timing`` swap); this
+        hook keeps the arbitrator's own derived structures — comm-cost
+        matrix, reduction tree, group membership, z(m) memos —
+        consistent with the degraded machine. Warm FSteal assignments
+        survive on purpose: ``repair_assignment`` pulls work off
+        forbidden (dead) workers, so the next solve still starts warm.
+        """
+        state = self._state
+        if state is None or context.chaos is None:
+            return
+        if event.kind == "kill_worker":
+            dead = int(event.spec.params["worker"])
+            heir = int(event.detail["heir"])
+            state.heirs[dead] = heir
+            was_active = dead in state.active
+            state.active = [w for w in state.active if w != dead]
+            if was_active and heir not in state.active:
+                # the dead worker owned fragments; they moved to the
+                # heir, who therefore joins the communication group
+                state.active = sorted(state.active + [heir])
+            state.group_size = len(state.active)
+            self._rebuild_machine_state(context, remeasure=False)
+        elif event.kind == "degrade_link":
+            self._rebuild_machine_state(context, remeasure=True)
+
+    def _rebuild_machine_state(
+        self, context: RunContext, remeasure: bool
+    ) -> None:
+        """Re-derive comm costs and the reduction tree post-fault."""
+        state = self._state
+        chaos = context.chaos
+        topology = chaos.topology
+        if remeasure:
+            state.comm_cost = measure_comm_cost_matrix(
+                topology,
+                repro_config.BYTES_PER_EDGE,
+                seed=self._config.bandwidth_seed,
+            )
+        alive = chaos.alive_workers()
+        if len(alive) == topology.num_gpus:
+            state.tree = ReductionTree(topology)
+        else:
+            state.tree = _EvictedTree(topology, alive, state.heirs)
+        # z(m) memos and the OSteal backoff price the *old* machine;
+        # force a fresh evaluation at the next opportunity
+        state.osteal_z = LruDict(16)
+        state.osteal_last_fp = None
+        state.osteal_backoff = 0
+        state.last_osteal_iteration = -(10**9)
 
     # ------------------------------------------------------------------
     def _osteal_triggered(

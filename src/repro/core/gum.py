@@ -60,6 +60,7 @@ class GumEngine(BSPEngine):
         options: Optional[EngineOptions] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chaos=None,
     ) -> None:
         self._config = config or GumConfig()
         super().__init__(
@@ -70,6 +71,7 @@ class GumEngine(BSPEngine):
             name="gum",
             tracer=tracer,
             metrics=metrics,
+            chaos=chaos,
         )
 
     @property

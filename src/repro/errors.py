@@ -41,6 +41,25 @@ class CostModelError(ReproError):
     """Cost-model training or inference failed (e.g. empty training set)."""
 
 
+class FaultInjectionError(ReproError):
+    """A chaos scenario is malformed or impossible on this machine.
+
+    Raised when a scenario file fails schema validation (unknown fault
+    kind, missing fields, bad types) or references devices/links the
+    target topology does not have.
+    """
+
+
+class DegradedModeError(EngineError):
+    """Graceful degradation ran out of road.
+
+    Raised when every worker has been killed, or a degradation policy
+    (solver fallback chain, eviction, transfer retry) cannot produce
+    any usable configuration. Also an :class:`EngineError`: exceeding
+    the fault budget is an execution failure, not a scenario typo.
+    """
+
+
 class RunRegistryError(ReproError):
     """The run registry was asked something it cannot answer.
 

@@ -42,6 +42,7 @@ def run(
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    chaos=None,
     **params,
 ) -> RunResult:
     """Partition, schedule, and execute one algorithm in a single call.
@@ -66,6 +67,9 @@ def run(
         Observability hooks (:mod:`repro.obs`): pass a
         :class:`~repro.obs.tracer.Tracer` and/or
         :class:`~repro.obs.metrics.MetricsRegistry` to record the run.
+    chaos:
+        A :class:`~repro.chaos.ChaosController` to inject faults into
+        the run (BSP-style engines only; see ``docs/robustness.md``).
     params:
         Algorithm init parameters (``source=...`` etc.).
     """
@@ -76,6 +80,13 @@ def run(
     partition = make_partition(partitioner, graph, num_gpus, seed=seed)
     topology = dgx1(num_gpus)
     obs = {"tracer": tracer, "metrics": metrics}
+    if chaos is not None:
+        if engine == "groute":
+            raise EngineError(
+                "fault injection requires a BSP-style engine; "
+                "groute's asynchronous runtime is not supported"
+            )
+        obs["chaos"] = chaos
     if engine == "gum":
         runner = GumEngine(topology, config=gum_config, **obs)
     elif engine == "gunrock":

@@ -219,6 +219,39 @@ class Topology:
             return list(order)
         return None
 
+    def with_degraded_link(
+        self, a: int, b: int, lanes: int = 0, name: str = ""
+    ) -> "Topology":
+        """Copy of this topology with the direct link ``a``-``b`` set to
+        ``lanes`` lanes.
+
+        ``lanes=0`` models a lost link (the pair falls back to PCIe or a
+        multi-hop NVLink path); a positive count below the current one
+        models partial lane degradation. The effective-bandwidth matrix
+        of the returned topology is recomputed from scratch, so
+        multi-hop steal paths reroute around the damage.
+        """
+        if a == b:
+            raise TopologyError("cannot degrade a device's local link")
+        if not (0 <= a < self._n and 0 <= b < self._n):
+            raise TopologyError(
+                f"link ({a},{b}) out of range for {self._n} GPUs"
+            )
+        if lanes < 0:
+            raise TopologyError("lane count cannot be negative")
+        links = []
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                count = lanes if {i, j} == {a, b} else int(self._lanes[i, j])
+                if count:
+                    links.append(LinkSpec(i, j, count))
+        return Topology(
+            self._n,
+            links,
+            gpu=self._gpu,
+            name=name or f"{self._name}-degraded",
+        )
+
     def subset(self, members: Sequence[int], name: str = "") -> "Topology":
         """Topology induced on a subset of GPUs (ids are renumbered)."""
         members = list(members)

@@ -85,6 +85,14 @@ RUN_METRICS = (
                note="amortization behaviour"),
     MetricSpec("decision_cache.warm_accepts", gated=False,
                note="amortization behaviour"),
+    # fault-injection counters: absent on healthy runs (_lookup -> None)
+    MetricSpec("chaos.faults_injected", gated=False,
+               note="fault injection"),
+    MetricSpec("chaos.evictions", gated=False, note="fault injection"),
+    MetricSpec("chaos.solver_fallbacks", gated=False,
+               note="fault injection"),
+    MetricSpec("chaos.transfer_retries", gated=False,
+               note="fault injection"),
 )
 
 

@@ -94,9 +94,17 @@ def workload_fingerprint(
     seed: int = config.DEFAULT_SEED,
     partition_seed: int = 0,
     amortize: bool = True,
+    chaos: str = "none",
 ) -> Dict[str, object]:
-    """The identity half of a run fingerprint (diff precondition)."""
-    return {
+    """The identity half of a run fingerprint (diff precondition).
+
+    ``chaos`` is the injected fault scenario's name (``"none"`` on
+    healthy runs): a chaos run and a healthy run of the same workload
+    are *not* commensurable. The key is omitted on healthy runs so
+    their fingerprints stay comparable with manifests recorded before
+    fault injection existed.
+    """
+    fingerprint: Dict[str, object] = {
         "engine": str(engine),
         "algorithm": str(algorithm),
         "graph": str(graph),
@@ -108,6 +116,9 @@ def workload_fingerprint(
         "partition_seed": int(partition_seed),
         "amortize": bool(amortize),
     }
+    if str(chaos) != "none":
+        fingerprint["chaos"] = str(chaos)
+    return fingerprint
 
 
 def provenance_fingerprint() -> Dict[str, str]:

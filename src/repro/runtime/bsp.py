@@ -32,12 +32,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro import config
-from repro.errors import EngineError
+from repro.errors import DegradedModeError, EngineError
 from repro.graph.csr import CSRGraph
 from repro.hardware.spec import MachineSpec
 from repro.hardware.timing import TimingModel
@@ -57,6 +57,7 @@ from repro.runtime.scheduler import (
 
 if TYPE_CHECKING:  # avoid a runtime<->algorithms import cycle
     from repro.algorithms.base import GASAlgorithm
+    from repro.chaos.controller import ChaosController, FaultEvent
 
 __all__ = ["EngineOptions", "BSPEngine"]
 
@@ -117,6 +118,11 @@ class BSPEngine:
     metrics:
         Counter/gauge/histogram registry; defaults to the null
         registry.
+    chaos:
+        Optional fault-injection controller
+        (:class:`~repro.chaos.controller.ChaosController`). With no
+        controller — or a controller whose scenario is empty — runs
+        are bit-identical to an engine built without the argument.
     """
 
     def __init__(
@@ -128,14 +134,17 @@ class BSPEngine:
         name: str = "bsp",
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chaos: "Optional[ChaosController]" = None,
     ) -> None:
         self._topology = topology
         self._scheduler = scheduler or StaticScheduler()
+        self._machine = machine
         self._timing = TimingModel(topology, machine=machine)
         self._options = options or EngineOptions()
         self._name = name
         self._tracer = tracer or NULL_TRACER
         self._metrics = metrics or NULL_METRICS
+        self._chaos = chaos
 
     # ------------------------------------------------------------------
     @property
@@ -168,6 +177,11 @@ class BSPEngine:
         """The engine's metrics registry (null when metrics are off)."""
         return self._metrics
 
+    @property
+    def chaos(self) -> "Optional[ChaosController]":
+        """The attached fault controller, or ``None``."""
+        return self._chaos
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -196,6 +210,8 @@ class BSPEngine:
         )
         num_workers = self._topology.num_gpus
 
+        if self._chaos is not None:
+            self._chaos.begin_run(self._topology)
         context = RunContext(
             graph=graph,
             partition=partition,
@@ -205,6 +221,7 @@ class BSPEngine:
             algorithm_name=algorithm.name,
             tracer=self._tracer,
             metrics=self._metrics,
+            chaos=self._chaos,
         )
 
         state = algorithm.init(graph, **params)
@@ -225,6 +242,10 @@ class BSPEngine:
             virtual_clock = 0.0
             prev_group: Optional[int] = None
             while state.frontier and state.iteration < limit:
+                if self._chaos is not None:
+                    events = self._chaos.advance(state.iteration)
+                    if events:
+                        self._apply_faults(events, context, virtual_clock)
                 record = self._run_iteration(graph, partition, algorithm,
                                              state, context)
                 result.iterations.append(record)
@@ -244,7 +265,53 @@ class BSPEngine:
                          virtual_total_ms=virtual_clock * 1e3)
         result.values = state.values
         result.converged = not state.frontier
+        if self._chaos is not None:
+            result.chaos = self._chaos.stats()
         return result
+
+    # ------------------------------------------------------------------
+    def _apply_faults(
+        self,
+        events: "List[FaultEvent]",
+        context: RunContext,
+        virtual_clock: float,
+    ) -> None:
+        """Apply newly fired faults to the run, then notify the scheduler.
+
+        The engine owns the machine-level consequences — timing-model
+        swap on link damage, fragment eviction on worker death — so
+        every scheduler degrades the same way; ``on_fault`` lets a
+        stateful policy additionally rebuild its derived structures.
+        """
+        chaos = self._chaos
+        for event in events:
+            if event.kind == "kill_worker":
+                dead = int(event.spec.params["worker"])
+                heir = int(event.detail["heir"])
+                context.dead_workers.add(dead)
+                evicted = context.fragment_worker == dead
+                context.fragment_worker[evicted] = heir
+                chaos.note_evictions(int(np.count_nonzero(evicted)))
+            elif event.kind == "degrade_link":
+                # re-derive the machine: effective-bandwidth matrix is
+                # recomputed so multi-hop steal paths reroute
+                context.timing = TimingModel(
+                    chaos.topology,
+                    machine=self._machine,
+                    device_model=self._timing.device_model,
+                )
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    f"chaos.{event.kind}",
+                    cat="chaos",
+                    virtual_ts=virtual_clock,
+                    **event.as_dict(),
+                )
+            if self._metrics.enabled:
+                self._metrics.counter(
+                    "chaos.faults", "injected faults by kind",
+                ).inc(kind=event.kind)
+            self._scheduler.on_fault(event, context)
 
     # ------------------------------------------------------------------
     def _run_iteration(
@@ -277,7 +344,8 @@ class BSPEngine:
         plan.real_decision_seconds = max(
             plan.real_decision_seconds, time.perf_counter() - wall_start
         )
-        self._validate_plan(plan, workloads, num_workers)
+        self._validate_plan(plan, workloads, num_workers,
+                            context.dead_workers)
 
         # --- price the plan with ground-truth costs -------------------
         # Compute cost is priced from the owning fragment's frontier
@@ -292,8 +360,16 @@ class BSPEngine:
             f.features(graph) for f in fragment_frontiers
         ]
         busy, compute_part, comm_part = self._price_chunks(
-            plan, fragment_features, context, num_workers
+            plan, fragment_features, context, num_workers,
+            iteration=state.iteration,
         )
+        if self._chaos is not None:
+            scale = self._chaos.compute_scale(state.iteration)
+            if scale is not None:
+                # a slowed worker's kernels stretch; everything else
+                # (transfers, sync) is unaffected
+                busy = busy + compute_part * (scale - 1.0)
+                compute_part = compute_part * scale
 
         active = sorted(set(plan.active_workers))
         if not active:
@@ -308,7 +384,7 @@ class BSPEngine:
             graph, partition, context, frontier, active
         )
 
-        sync = self._timing.sync_seconds(len(active)) * self._sync_multiplier(
+        sync = context.timing.sync_seconds(len(active)) * self._sync_multiplier(
             algorithm, state
         )
         overhead = (
@@ -355,6 +431,7 @@ class BSPEngine:
         fragment_features: list,
         context: RunContext,
         num_workers: int,
+        iteration: int = 0,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Price every chunk of the plan, vectorized over chunk arrays.
 
@@ -380,12 +457,12 @@ class BSPEngine:
             [c.vertices.size for c in chunks], dtype=np.float64
         ) * config.BYTES_PER_VERTEX
         homes = context.fragment_home[owners]
-        device = self._timing.device_model
+        device = context.timing.device_model
         edge_cost = np.array(
             [device.true_edge_cost(f) for f in fragment_features]
         )
         compute = edges * edge_cost[owners]
-        per_edge = self._timing.comm_per_edge_matrix()
+        per_edge = context.timing.comm_per_edge_matrix()
         comm = (
             (edges - hub_edges) * per_edge[homes, workers]
             + hub_edges * per_edge[workers, workers]
@@ -393,16 +470,49 @@ class BSPEngine:
         stolen = workers != homes
         if np.any(stolen):
             # frontier-status migration: stolen vertex ids + values
-            bandwidth_gbps = self._topology.effective_bandwidth_matrix()[
-                homes[stolen], workers[stolen]
-            ]
-            comm[stolen] += migrate_bytes[stolen] / (bandwidth_gbps * 1e9)
+            bandwidth_gbps = context.timing.topology \
+                .effective_bandwidth_matrix()[homes[stolen], workers[stolen]]
+            migrate_seconds = migrate_bytes[stolen] / (bandwidth_gbps * 1e9)
+            comm[stolen] += migrate_seconds
+            if (self._chaos is not None
+                    and self._chaos.flaky_active(iteration)):
+                self._charge_flaky_retries(
+                    comm, np.flatnonzero(stolen), owners, workers,
+                    migrate_seconds, iteration,
+                )
         if self._options.kernel_per_chunk:
-            compute = compute + self._timing.kernel_launch_seconds(1)
+            compute = compute + context.timing.kernel_launch_seconds(1)
         np.add.at(busy, workers, compute + comm)
         np.add.at(compute_part, workers, compute)
         np.add.at(comm_part, workers, comm)
         return busy, compute_part, comm_part
+
+    def _charge_flaky_retries(
+        self,
+        comm: np.ndarray,
+        stolen_indices: np.ndarray,
+        owners: np.ndarray,
+        workers: np.ndarray,
+        migrate_seconds: np.ndarray,
+        iteration: int,
+    ) -> None:
+        """Charge retry-with-backoff time for failed steal transfers.
+
+        Each stolen chunk's migration fails a deterministic, seeded
+        number of times (bounded by the fault's ``max_retries``); every
+        failed attempt retransmits the payload and backs off. The chunk
+        always completes — chaos charges time, never corrupts state.
+        """
+        chaos = self._chaos
+        for position, chunk_index in enumerate(stolen_indices.tolist()):
+            fails = chaos.failed_transfer_attempts(
+                iteration, int(owners[chunk_index]),
+                int(workers[chunk_index]),
+            )
+            if fails:
+                comm[chunk_index] += chaos.retry_seconds(
+                    float(migrate_seconds[position]), fails
+                )
 
     # ------------------------------------------------------------------
     # Hooks for engine models with algorithm-specific behaviour
@@ -496,10 +606,11 @@ class BSPEngine:
             num_messages = int(np.unique(destinations[cross]).size)
         else:
             num_messages = int(np.count_nonzero(cross))
-        packing = self._timing.serialization_seconds(num_messages)
-        aggregate_gbps = self._topology.aggregate_bandwidth(active)
+        packing = context.timing.serialization_seconds(num_messages)
+        topology = context.timing.topology
+        aggregate_gbps = topology.aggregate_bandwidth(active)
         if aggregate_gbps <= 0:
-            aggregate_gbps = self._topology.direct_bandwidth(0, 0)
+            aggregate_gbps = topology.direct_bandwidth(0, 0)
         transfer = (
             num_messages * config.BYTES_PER_MESSAGE
             / (aggregate_gbps * 1e9)
@@ -507,13 +618,22 @@ class BSPEngine:
         return packing, transfer
 
     def _validate_plan(
-        self, plan: IterationPlan, workloads: np.ndarray, num_workers: int
+        self,
+        plan: IterationPlan,
+        workloads: np.ndarray,
+        num_workers: int,
+        dead_workers: Optional[set] = None,
     ) -> None:
-        """Reject plans that drop or duplicate work."""
+        """Reject plans that drop or duplicate work, or use dead GPUs."""
         assigned = np.zeros_like(workloads)
         for chunk in plan.chunks:
             if not 0 <= chunk.worker < num_workers:
                 raise EngineError(f"chunk worker {chunk.worker} out of range")
+            if dead_workers and chunk.worker in dead_workers:
+                raise DegradedModeError(
+                    f"iteration plan assigns work to dead worker "
+                    f"{chunk.worker}"
+                )
             if not 0 <= chunk.owner < workloads.size:
                 raise EngineError(f"chunk owner {chunk.owner} out of range")
             assigned[chunk.owner] += chunk.edges

@@ -115,6 +115,10 @@ class RunResult:
     #: hit counters, warm-start accepts, ...); empty for stateless
     #: policies.
     decision_stats: Dict[str, float] = field(default_factory=dict)
+    #: Fault-injection summary (scenario name, fired events, eviction
+    #: and retry counters) when a chaos controller drove the run;
+    #: ``None`` on healthy runs.
+    chaos: Optional[Dict[str, object]] = None
 
     @property
     def total_seconds(self) -> float:

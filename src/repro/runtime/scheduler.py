@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.partition.base import Partition
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord
+
+if TYPE_CHECKING:  # chaos imports nothing from runtime, but keep it lazy
+    from repro.chaos.controller import ChaosController, FaultEvent
 
 __all__ = ["WorkChunk", "IterationPlan", "RunContext", "Scheduler",
            "StaticScheduler"]
@@ -75,6 +78,12 @@ class RunContext:
     ``tracer``/``metrics`` are the engine's observability hooks —
     schedulers record their decisions through them (null by default,
     so uninstrumented runs pay nothing).
+
+    ``timing`` starts as the engine's ground-truth model but is
+    *per-run*: fault injection swaps in a model of the degraded
+    machine mid-run. ``chaos`` is the attached fault controller
+    (``None`` on healthy runs) and ``dead_workers`` the GPUs evicted
+    so far — schedulers must not assign work to them.
     """
 
     graph: CSRGraph
@@ -86,6 +95,8 @@ class RunContext:
     extras: dict = field(default_factory=dict)
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry = NULL_METRICS
+    chaos: "Optional[ChaosController]" = None
+    dead_workers: Set[int] = field(default_factory=set)
 
     @property
     def num_workers(self) -> int:
@@ -117,6 +128,16 @@ class Scheduler(abc.ABC):
 
     def observe(self, record: IterationRecord, context: RunContext) -> None:
         """Feedback after the engine priced and ran the iteration."""
+
+    def on_fault(self, event: "FaultEvent", context: RunContext) -> None:
+        """React to an injected fault before the iteration is planned.
+
+        Called by the engine after it has applied the fault's machine
+        consequences (``context.timing`` swap, ``fragment_worker``
+        eviction, ``dead_workers`` update). Stateful policies rebuild
+        whatever they derived from the old machine; the default is a
+        no-op, which is correct for stateless schedulers.
+        """
 
     def finish_run(self, context: RunContext) -> Optional[Dict[str, float]]:
         """Called once after the last iteration; optional summary stats.
@@ -159,5 +180,6 @@ class StaticScheduler(Scheduler):
         ]
         return IterationPlan(
             chunks=chunks,
-            active_workers=list(range(context.num_workers)),
+            active_workers=[w for w in range(context.num_workers)
+                            if w not in context.dead_workers],
         )

@@ -1,0 +1,19 @@
+"""Shared fixtures for the chaos test suite."""
+
+from pathlib import Path
+
+import pytest
+
+SCENARIO_DIR = (Path(__file__).resolve().parents[2]
+                / "benchmarks" / "scenarios")
+
+
+@pytest.fixture(scope="session")
+def scenario_dir():
+    return SCENARIO_DIR
+
+
+@pytest.fixture(scope="session")
+def repo_scenarios():
+    """The scenario files committed under benchmarks/scenarios/."""
+    return sorted(SCENARIO_DIR.glob("*.json"))

@@ -1,0 +1,92 @@
+"""CLI-level chaos tests: the --chaos flag and exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_chaos_run_reports_the_eviction(scenario_dir, capsys):
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--chaos", str(scenario_dir / "kill-worker.json"), "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    chaos = payload["chaos"]
+    assert chaos["enabled"] is True
+    assert chaos["scenario"] == "kill-worker"
+    assert chaos["workers_killed"] == [2]
+    assert chaos["evictions"] >= 1
+    assert chaos["faults_injected"] >= 1
+    assert any(e["kind"] == "kill_worker" for e in chaos["events"])
+
+
+def test_cli_without_chaos_has_no_chaos_block(capsys):
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--cost-model", "oracle", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "chaos" not in payload
+
+
+def _assert_one_line_error(code, capsys, needle):
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+    assert needle in err
+
+
+def test_cli_missing_scenario_file_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--chaos", str(missing),
+    ])
+    _assert_one_line_error(code, capsys, "nope.json")
+
+
+def test_cli_malformed_scenario_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({
+        "schema": "repro-chaos/1",
+        "faults": [{"kind": "meteor_strike", "at_iteration": 0}],
+    }))
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--chaos", str(bad),
+    ])
+    _assert_one_line_error(code, capsys, "unknown fault kind")
+
+
+def test_cli_out_of_range_worker_exits_2(tmp_path, capsys):
+    # parses fine, but references a GPU this machine lacks: rejected
+    # at begin_run, still one line and exit 2
+    oversized = tmp_path / "oversized.json"
+    oversized.write_text(json.dumps({
+        "schema": "repro-chaos/1",
+        "faults": [{"kind": "kill_worker", "at_iteration": 0,
+                    "worker": 7}],
+    }))
+    code = main([
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--chaos", str(oversized),
+    ])
+    _assert_one_line_error(code, capsys, "out of range")
+
+
+def test_cli_compare_skips_groute_under_chaos(scenario_dir, capsys):
+    code = main([
+        "compare", "--graph", "TX", "--algorithm", "bfs", "--gpus", "4",
+        "--cost-model", "oracle",
+        "--chaos", str(scenario_dir / "slow-worker.json"),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "groute" not in captured.out
+    assert "groute" in captured.err  # the skip is announced, not silent
+    assert "gum" in captured.out and "gunrock" in captured.out

@@ -1,0 +1,167 @@
+"""Unit tests for the chaos scenario schema."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosScenario,
+    FAULT_KINDS,
+    FaultSpec,
+    SCHEMA_VERSION,
+)
+from repro.errors import FaultInjectionError, ReproError
+
+
+# ----------------------------------------------------------------------
+# FaultSpec validation
+# ----------------------------------------------------------------------
+def test_defaults_are_filled():
+    spec = FaultSpec("flaky_transfers", 0, {})
+    assert spec.params == {"duration": None, "rate": 0.5,
+                           "max_retries": 3}
+    assert spec.duration is None
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(FaultInjectionError, match="unknown fault kind"):
+        FaultSpec("meteor_strike", 0, {})
+
+
+def test_missing_required_field_rejected():
+    with pytest.raises(FaultInjectionError, match="missing required"):
+        FaultSpec("kill_worker", 0, {})
+    with pytest.raises(FaultInjectionError, match="missing required"):
+        FaultSpec("slow_worker", 0, {"worker": 1})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(FaultInjectionError, match="unknown field"):
+        FaultSpec("kill_worker", 0, {"worker": 1, "blast_radius": 3})
+
+
+def test_negative_iteration_rejected():
+    with pytest.raises(FaultInjectionError, match="at_iteration"):
+        FaultSpec("kill_worker", -1, {"worker": 0})
+
+
+@pytest.mark.parametrize("kind,params", [
+    ("slow_worker", {"worker": 0, "factor": 0.0}),
+    ("slow_worker", {"worker": 0, "factor": -2}),
+    ("degrade_link", {"a": 1, "b": 1}),
+    ("degrade_link", {"a": 0, "b": 1, "lanes": -1}),
+    ("flaky_transfers", {"rate": 1.0}),
+    ("flaky_transfers", {"max_retries": 0}),
+    ("solver_timeout", {"count": 0}),
+    ("solver_timeout", {"solver": 7}),
+    ("kill_worker", {"worker": 0, "duration": 0}),
+])
+def test_bad_values_rejected(kind, params):
+    if "duration" in params and kind == "kill_worker":
+        # kill has no duration field at all
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(kind, 0, params)
+        return
+    with pytest.raises(FaultInjectionError):
+        FaultSpec(kind, 0, params)
+
+
+def test_every_kind_constructs_with_minimal_fields():
+    minimal = {
+        "kill_worker": {"worker": 0},
+        "slow_worker": {"worker": 0, "factor": 2.0},
+        "degrade_link": {"a": 0, "b": 1},
+        "flaky_transfers": {},
+        "solver_timeout": {},
+    }
+    assert set(minimal) == set(FAULT_KINDS)
+    for kind, params in minimal.items():
+        spec = FaultSpec(kind, 0, params)
+        assert spec.kind == kind
+
+
+# ----------------------------------------------------------------------
+# Scenario round-trip and machine validation
+# ----------------------------------------------------------------------
+def test_round_trip_through_dict():
+    scenario = ChaosScenario(
+        faults=(
+            FaultSpec("kill_worker", 3, {"worker": 2}),
+            FaultSpec("degrade_link", 1, {"a": 0, "b": 3, "lanes": 1}),
+        ),
+        name="drill", description="two faults", seed=42,
+    )
+    payload = scenario.as_dict()
+    assert payload["schema"] == SCHEMA_VERSION
+    again = ChaosScenario.from_dict(json.loads(json.dumps(payload)))
+    assert again == scenario
+
+
+def test_from_dict_rejects_wrong_schema():
+    with pytest.raises(FaultInjectionError, match="schema"):
+        ChaosScenario.from_dict({"schema": "repro-chaos/99"})
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultInjectionError, match="unknown field"):
+        ChaosScenario.from_dict({"schema": SCHEMA_VERSION,
+                                 "blast": True})
+
+
+def test_validate_for_range():
+    scenario = ChaosScenario(
+        faults=(FaultSpec("kill_worker", 0, {"worker": 6}),)
+    )
+    scenario.validate_for(8)
+    with pytest.raises(FaultInjectionError, match="out of range"):
+        scenario.validate_for(4)
+
+
+def test_validate_for_rejects_total_extinction():
+    scenario = ChaosScenario(faults=tuple(
+        FaultSpec("kill_worker", i, {"worker": i}) for i in range(2)
+    ))
+    with pytest.raises(FaultInjectionError, match="at least one"):
+        scenario.validate_for(2)
+    scenario.validate_for(4)  # two of four may die
+
+
+# ----------------------------------------------------------------------
+# File loading
+# ----------------------------------------------------------------------
+def test_from_file_round_trip(tmp_path):
+    path = tmp_path / "drill.json"
+    scenario = ChaosScenario(
+        faults=(FaultSpec("slow_worker", 1,
+                          {"worker": 0, "factor": 3.0, "duration": 5}),),
+        seed=9,
+    )
+    path.write_text(json.dumps(scenario.as_dict()))
+    loaded = ChaosScenario.from_file(path)
+    # a default name is replaced by the file stem
+    assert loaded.name == "drill"
+    assert loaded.faults == scenario.faults
+    assert loaded.seed == 9
+
+
+def test_from_file_errors_name_the_file(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(FaultInjectionError, match="nope.json"):
+        ChaosScenario.from_file(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(FaultInjectionError, match="bad.json"):
+        ChaosScenario.from_file(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schema": "other/1"}))
+    with pytest.raises(ReproError, match="wrong.json"):
+        ChaosScenario.from_file(wrong)
+
+
+def test_committed_scenarios_parse(repo_scenarios):
+    assert len(repo_scenarios) >= 3
+    for path in repo_scenarios:
+        scenario = ChaosScenario.from_file(path)
+        scenario.validate_for(4)
+        assert scenario.name == path.stem
+        assert scenario.description

@@ -113,6 +113,68 @@ def test_single_gpu_preset():
     assert single.effective_bandwidth_matrix().shape == (1, 1)
 
 
+def test_subset_single_member(topology8):
+    sub = topology8.subset([5])
+    assert sub.num_gpus == 1
+    assert sub.lane_matrix.shape == (1, 1)
+    assert sub.effective_bandwidth_matrix().shape == (1, 1)
+    # self-bandwidth is HBM, not interconnect
+    assert sub.effective_bandwidth(0, 0) == pytest.approx(
+        sub.gpu.local_bandwidth_gbps
+    )
+
+
+def test_subset_disconnected_member(topology8):
+    # 0 and 7 share no NVLink in the cube mesh; a {0, 7} subset keeps
+    # both reachable over PCIe (no path through the dropped GPUs)
+    sub = topology8.subset([0, 7])
+    assert sub.num_gpus == 2
+    assert sub.lane_matrix[0, 1] == 0
+    assert sub.effective_bandwidth(0, 1) == pytest.approx(PCIE_GBPS)
+
+
+def test_degraded_link_loses_lanes(topology8):
+    degraded = topology8.with_degraded_link(0, 3, lanes=1)
+    assert topology8.lane_matrix[0, 3] == 2  # original untouched
+    assert degraded.lane_matrix[0, 3] == 1
+    assert degraded.lane_matrix[3, 0] == 1
+    assert degraded.direct_bandwidth(0, 3) == NVLINK_LANE_GBPS
+    # every other link is untouched
+    mask = np.ones((8, 8), dtype=bool)
+    mask[0, 3] = mask[3, 0] = False
+    assert np.array_equal(degraded.lane_matrix[mask],
+                          topology8.lane_matrix[mask])
+
+
+def test_degraded_link_to_zero_reroutes(topology8):
+    dead = topology8.with_degraded_link(0, 1, lanes=0)
+    assert dead.lane_matrix[0, 1] == 0
+    assert dead.direct_bandwidth(0, 1) == PCIE_GBPS
+    # multi-hop transit still beats PCIe on the remaining fabric
+    assert dead.effective_bandwidth(0, 1) > PCIE_GBPS
+    assert dead.effective_bandwidth(0, 1) < topology8.effective_bandwidth(
+        0, 1
+    )
+
+
+def test_degraded_link_validation(topology8):
+    with pytest.raises(TopologyError):
+        topology8.with_degraded_link(2, 2)
+    with pytest.raises(TopologyError):
+        topology8.with_degraded_link(0, 9)
+    with pytest.raises(TopologyError):
+        topology8.with_degraded_link(0, 1, lanes=-1)
+
+
+def test_degraded_then_subset_composes(topology8):
+    # chaos re-derives steal paths from subset-of-degraded topologies;
+    # the two transforms must compose without touching the original
+    combo = topology8.with_degraded_link(0, 3, lanes=0).subset(range(4))
+    assert combo.num_gpus == 4
+    assert combo.lane_matrix[0, 3] == 0
+    assert combo.lane_matrix[0, 1] == topology8.lane_matrix[0, 1]
+
+
 def test_link_validation():
     with pytest.raises(TopologyError):
         LinkSpec(0, 0, 1)

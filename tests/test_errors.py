@@ -1,0 +1,78 @@
+"""Tests for the exception hierarchy contract.
+
+The library's promise: every error it raises is catchable as
+:class:`ReproError` at an API boundary, and the dual-inheritance
+special cases (:class:`TraceFormatError`, :class:`DegradedModeError`)
+stay catchable under their legacy/base types too.
+"""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ConvergenceError,
+    DegradedModeError,
+    EngineError,
+    FaultInjectionError,
+    ReproError,
+    TraceFormatError,
+)
+
+
+def _all_error_classes():
+    return [
+        obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+def test_every_error_is_a_repro_error():
+    classes = _all_error_classes()
+    assert len(classes) >= 12  # the hierarchy, not an accidental stub
+    for cls in classes:
+        assert issubclass(cls, ReproError), cls
+
+
+@pytest.mark.parametrize("cls", _all_error_classes())
+def test_each_subclass_caught_as_repro_error(cls):
+    with pytest.raises(ReproError):
+        raise cls("boom")
+
+
+def test_every_error_has_a_docstring():
+    for cls in _all_error_classes():
+        assert cls.__doc__ and cls.__doc__.strip(), cls
+
+
+def test_convergence_is_engine_error():
+    assert issubclass(ConvergenceError, EngineError)
+
+
+def test_degraded_mode_is_engine_error():
+    # exceeding the fault budget is an execution failure, so callers
+    # guarding engine.run with EngineError keep catching it
+    assert issubclass(DegradedModeError, EngineError)
+    with pytest.raises(EngineError):
+        raise DegradedModeError("all workers dead")
+
+
+def test_fault_injection_is_not_engine_error():
+    # a scenario typo is a configuration problem, not a run failure
+    assert not issubclass(FaultInjectionError, EngineError)
+
+
+def test_trace_format_error_is_also_value_error():
+    assert issubclass(TraceFormatError, ValueError)
+    with pytest.raises(ValueError):
+        raise TraceFormatError("not a trace")
+    with pytest.raises(ReproError):
+        raise TraceFormatError("not a trace")
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in ("ReproError", "FaultInjectionError", "DegradedModeError"):
+        assert getattr(repro, name) is getattr(errors, name)
