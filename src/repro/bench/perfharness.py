@@ -547,6 +547,126 @@ def _fsteal_cached():
 
 
 # ----------------------------------------------------------------------
+# Observability self-cost (the <3% overhead budget lives here)
+# ----------------------------------------------------------------------
+def _obs_iteration_record(iteration: int = 7):
+    """A representative mid-run IterationRecord for emit benchmarks."""
+    from repro.runtime.metrics import IterationRecord, TimeBreakdown
+
+    return IterationRecord(
+        iteration=iteration,
+        frontier_size=4096,
+        frontier_edges=131072,
+        active_workers=[0, 1, 2, 3],
+        busy_seconds=np.array([1.1e-4, 0.9e-4, 1.0e-4, 1.2e-4]),
+        stall_seconds=np.array([1.0e-5, 3.0e-5, 2.0e-5, 0.0]),
+        wall_seconds=1.3e-4,
+        breakdown=TimeBreakdown(compute=3.5e-4, communication=6.0e-5,
+                                serialization=2.0e-5, sync=6.0e-5),
+        fsteal_applied=True,
+        osteal_group_size=4,
+        stolen_edges=2048,
+        real_decision_seconds=4.0e-5,
+    )
+
+
+def _obs_populated_registry():
+    """A registry shaped like a finished mid-size run."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for i in range(200):
+        registry.counter("engine.iterations").inc()
+        registry.histogram("engine.wall_ms").observe(0.1 + 0.001 * i)
+        registry.timeseries("engine.wall_ms_series").append(
+            0.1 + 0.001 * i, index=i)
+        registry.counter("steal.edges").inc(64, gpu=i % 8)
+    registry.gauge("osteal.group_size").set(6)
+    return registry
+
+
+@bench_case("obs.emit.iteration", unit="seconds per streamed iteration",
+            note="span export + metrics publish + live stream emit")
+def _obs_emit_iteration():
+    import os
+
+    from repro.obs.export import emit_iteration
+    from repro.obs.live import StreamingSink
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+    registry = MetricsRegistry()
+    sink = StreamingSink(open(os.devnull, "w"), metrics=registry)
+    tracer = Tracer(sinks=[sink])
+    record = _obs_iteration_record()
+
+    def emit():
+        return emit_iteration(tracer, registry, record, 0.007, 4,
+                              engine="gum")
+
+    return emit
+
+
+@bench_case("obs.stream.span", unit="seconds per streamed span line",
+            bench_threshold=1.0)
+def _obs_stream_span():
+    import os
+
+    from repro.obs.live import StreamingSink
+    from repro.obs.tracer import SpanRecord
+
+    sink = StreamingSink(open(os.devnull, "w"))
+    record = SpanRecord(
+        name="busy", track="gpu3", cat="engine",
+        virtual_start=0.0071, virtual_dur=1.1e-4,
+        attrs={"iteration": 7, "gpu": 3},
+    )
+    return lambda: sink.emit(record)
+
+
+@bench_case("obs.snapshot.light", unit="seconds per heartbeat snapshot",
+            bench_threshold=1.0)
+def _obs_snapshot_light():
+    registry = _obs_populated_registry()
+    return lambda: registry.snapshot(light=True)
+
+
+@bench_case("obs.prom.render", unit="seconds per Prometheus render",
+            bench_threshold=1.0)
+def _obs_prom_render():
+    from repro.obs.prom import prom_text
+
+    snapshot = _obs_populated_registry().snapshot()
+    return lambda: prom_text(snapshot)
+
+
+@bench_case("obs.slo.check", unit="seconds per SLO policy evaluation")
+def _obs_slo_check():
+    from repro.obs.slo import evaluate, policy_from_dict
+
+    policy = policy_from_dict({
+        "schema": "repro-slo/1",
+        "rules": [
+            {"metric": "p99_iteration_ms", "max": 1.0},
+            {"metric": "max_stall_fraction", "max": 0.05},
+            {"metric": "min_gpu_utilization", "min": 0.5},
+            {"metric": "total_ms", "max": 100.0},
+            {"series": "wall_ms", "zscore_max": 6.0},
+        ],
+    })
+    summary = {
+        "total_ms": 26.0,
+        "stall_fraction": 0.004,
+        "per_gpu_utilization": [0.99, 0.0, 0.0, 1.0],
+    }
+    timeseries = {
+        "iteration": list(range(200)),
+        "wall_ms": [0.18 + 0.0005 * (i % 7) for i in range(200)],
+    }
+    return lambda: evaluate(policy, summary, timeseries=timeseries)
+
+
+# ----------------------------------------------------------------------
 # Suite driver / report IO
 # ----------------------------------------------------------------------
 def run_suite(

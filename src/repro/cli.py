@@ -14,6 +14,11 @@ Examples::
     python -m repro runs list
     python -m repro runs analyze latest --scale-gpu 0=0.5
     python -m repro runs diff benchmarks/reference/tx-bfs-4gpu latest
+    python -m repro run --graph TX --algorithm bfs --stream live.jsonl
+    python -m repro top --stream live.jsonl
+    python -m repro top benchmarks/reference/tx-bfs-4gpu --no-ansi
+    python -m repro slo check benchmarks/reference/tx-bfs-4gpu \
+        --rules benchmarks/slo/reference.yaml
 """
 
 from __future__ import annotations
@@ -51,8 +56,12 @@ __all__ = ["main", "build_parser", "result_summary"]
 
 def result_summary(result: RunResult) -> dict:
     """JSON-friendly summary of a run (used by ``--json``)."""
+    from repro.obs.metrics import quantile
+    from repro.obs.slo import slo_indicators
+
     group_sizes = result.group_size_series()
-    return {
+    wall_ms = [rec.wall_seconds * 1e3 for rec in result.iterations]
+    summary = {
         "engine": result.engine,
         "algorithm": result.algorithm,
         "graph": result.graph_name,
@@ -80,7 +89,20 @@ def result_summary(result: RunResult) -> dict:
             result
         )["per_gpu_utilization"],
         "decision_cache": dict(result.decision_stats),
+        # virtual per-iteration latency distribution (deterministic)
+        "iteration_ms": {
+            "p50": quantile(wall_ms, 0.50),
+            "p90": quantile(wall_ms, 0.90),
+            "p99": quantile(wall_ms, 0.99),
+            "max": max(wall_ms) if wall_ms else None,
+        },
+        # host clock: what fraction of run() wall time was spent inside
+        # span/metric emission (None for runs recorded before
+        # self-measurement existed)
+        "obs_overhead_pct": result.obs_overhead_pct(),
     } | ({"chaos": dict(result.chaos)} if result.chaos else {})
+    summary["slo"] = slo_indicators(summary, result.timeseries())
+    return summary
 
 
 def _chaos_from_args(args: argparse.Namespace):
@@ -159,7 +181,12 @@ def _trace_path(path: str) -> str:
     check a missing parent directory would crash *after* the whole run
     and lose it.
     """
-    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    try:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        # e.g. a parent component that exists as a regular file: make
+        # it a one-line ReproError (exit 2), not a traceback
+        raise ReproError(f"cannot create trace path {path}: {exc}") from exc
     return path
 
 
@@ -167,24 +194,60 @@ def _make_observers(
     args: argparse.Namespace,
     engine: str,
     trace_path: Optional[str],
+    stream_target: Optional[str] = None,
 ) -> Tuple[Optional[Tracer], Optional[MetricsRegistry]]:
-    """Observers requested by ``--trace``/``--metrics`` (else None).
+    """Observers requested by ``--trace``/``--stream``/``--metrics``.
 
     A ``.jsonl`` trace path streams raw span records; any other suffix
     writes Chrome ``trace_event`` JSON for Perfetto / chrome://tracing.
+    ``--stream`` attaches a live :class:`StreamingSink` (path,
+    ``fd://N``, or ``unix://PATH``) that emits span events as the
+    engine iterates, with periodic metrics snapshots. ``--prom``
+    implies a metrics registry so there is a snapshot to render.
     """
-    tracer = None
+    from repro.obs.live import StreamingSink
+
+    meta = _trace_meta(args, engine)
+    wants_metrics = (
+        getattr(args, "metrics", False)
+        or getattr(args, "prom", None)
+        or stream_target
+    )
+    metrics = MetricsRegistry() if wants_metrics else None
+    sinks = []
     if trace_path:
-        meta = _trace_meta(args, engine)
         trace_path = _trace_path(trace_path)
-        sink = (
+        sinks.append(
             JsonlSink(trace_path, meta=meta)
             if trace_path.endswith(".jsonl")
             else ChromeTraceSink(trace_path, meta=meta)
         )
-        tracer = Tracer(sinks=[sink], meta=meta)
-    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    if stream_target:
+        sinks.append(StreamingSink(
+            stream_target,
+            meta=meta,
+            metrics=metrics,
+            snapshot_every=getattr(args, "stream_every", 10),
+        ))
+    tracer = Tracer(sinks=sinks, meta=meta) if sinks else None
     return tracer, metrics
+
+
+def _stream_target(args: argparse.Namespace) -> Optional[str]:
+    return getattr(args, "stream", None)
+
+
+def _maybe_prom(
+    args: argparse.Namespace, metrics: Optional[MetricsRegistry]
+) -> Optional[str]:
+    """Write the Prometheus snapshot when ``--prom`` was given."""
+    path = getattr(args, "prom", None)
+    if not path or metrics is None:
+        return None
+    from repro.obs.prom import write_prom
+
+    write_prom(path, metrics.snapshot())
+    return path
 
 
 def _registry_from_args(args: argparse.Namespace):
@@ -247,14 +310,17 @@ def _run_one(
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    tracer, metrics = _make_observers(args, args.engine, args.trace)
+    tracer, metrics = _make_observers(
+        args, args.engine, args.trace, stream_target=_stream_target(args)
+    )
     result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
     if tracer is not None:
         tracer.close()
     run_id = _maybe_record(args, args.engine, result, metrics)
+    prom_path = _maybe_prom(args, metrics)
     if args.json:
         payload = result_summary(result)
-        if metrics is not None:
+        if args.metrics and metrics is not None:
             payload["metrics"] = metrics.snapshot()
         if run_id:
             payload["run_id"] = run_id
@@ -270,9 +336,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  {bucket:13s}: {ms:10.2f} ms")
     if args.trace:
         print(f"  trace        : {args.trace}")
+    if _stream_target(args):
+        print(f"  stream       : {args.stream}")
+    if prom_path:
+        print(f"  prometheus   : {prom_path}")
     if run_id:
         print(f"  recorded     : {run_id}")
-    if metrics is not None:
+    if args.metrics and metrics is not None:
         print("metrics:")
         print(json.dumps(metrics.snapshot(), indent=2))
     return 0
@@ -295,15 +365,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         engines = tuple(e for e in ENGINE_NAMES if e != "groute")
         print("note: skipping groute (fault injection requires a "
               "BSP-style engine)", file=sys.stderr)
+    stream_base = _stream_target(args)
+    prom_base = getattr(args, "prom", None)
     for engine in engines:
         trace_path = (
             _engine_trace_path(args.trace, engine) if args.trace else None
         )
-        tracer, metrics = _make_observers(args, engine, trace_path)
+        stream_target = stream_base
+        if stream_base and not stream_base.startswith(("fd://", "unix://")):
+            # one stream file per engine; fd/socket targets are shared
+            # (the engines run sequentially, so events never interleave)
+            stream_target = _engine_trace_path(stream_base, engine)
+        tracer, metrics = _make_observers(
+            args, engine, trace_path, stream_target=stream_target
+        )
         result = _run_one(args, engine, tracer=tracer, metrics=metrics)
         if tracer is not None:
             tracer.close()
-        if metrics is not None:
+        if prom_base and metrics is not None:
+            from repro.obs.prom import write_prom
+
+            write_prom(_engine_trace_path(prom_base, engine),
+                       metrics.snapshot())
+        if args.metrics and metrics is not None:
             snapshots[engine] = metrics.snapshot()
         run_id = _maybe_record(args, engine, result, metrics)
         if run_id:
@@ -349,11 +433,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     result = _run_one(args, args.engine, tracer=tracer, metrics=metrics)
     tracer.close()
     run_id = _maybe_record(args, args.engine, result, metrics)
+    prom_path = _maybe_prom(args, metrics)
     summary = result_summary(result)
     summary["metrics"] = metrics.snapshot()
     summary["trace"] = args.out
     if args.jsonl:
         summary["trace_jsonl"] = args.jsonl
+    if prom_path:
+        summary["prometheus"] = prom_path
     if run_id:
         summary["run_id"] = run_id
     if args.json:
@@ -586,6 +673,90 @@ def _cmd_runs_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Terminal dashboard: tail a live stream or replay a recorded run."""
+    from repro.obs.top import follow_stream, replay_run
+
+    ansi = not args.no_ansi and sys.stdout.isatty()
+    if args.stream:
+        follow_stream(
+            args.stream,
+            sys.stdout.write,
+            follow=args.follow,
+            ansi=ansi,
+            timeout=args.timeout,
+            frames=args.frames,
+        )
+        return 0
+    if not args.ref:
+        raise ReproError(
+            "repro top needs a run reference to replay or "
+            "--stream PATH to tail"
+        )
+    header, records = _registry_from_args(args).load_run_trace(args.ref)
+    replay_run(
+        header,
+        records,
+        sys.stdout.write,
+        speed=args.speed,
+        frames=args.frames,
+        ansi=ansi,
+    )
+    return 0
+
+
+def _slo_history(registry, manifest: dict) -> List[dict]:
+    """Prior comparable run summaries (same workload, oldest first)."""
+    workload = manifest.get("fingerprint", {}).get("workload")
+    created = manifest.get("created_unix", float("inf"))
+    run_id = manifest.get("id")
+    history = []
+    for other in registry.manifests():
+        if other.get("id") == run_id or other.get("kind") != "run":
+            continue
+        if other.get("fingerprint", {}).get("workload") != workload:
+            continue
+        if other.get("created_unix", 0.0) >= created:
+            continue
+        history.append(other.get("summary") or {})
+    return history
+
+
+def _cmd_slo_check(args: argparse.Namespace) -> int:
+    """Evaluate a rule file against a recorded run; exit 1 on violation."""
+    from repro.obs.slo import evaluate, load_policy
+
+    policy = load_policy(args.rules)
+    registry = _registry_from_args(args)
+    manifest = registry.load_manifest(args.ref)
+    summary = manifest.get("summary") or {}
+    try:
+        timeseries = registry.load_timeseries(args.ref)
+    except ReproError:
+        timeseries = {}  # rules needing series degrade per-rule
+    report = evaluate(
+        policy,
+        summary,
+        timeseries,
+        history=_slo_history(registry, manifest),
+        subject=str(manifest.get("id") or args.ref),
+    )
+    for line in report.lines():
+        print(line)
+    if args.report:
+        path = Path(_trace_path(args.report))
+        path.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report: {path}")
+    if args.prom:
+        from repro.obs.prom import write_prom
+
+        write_prom(args.prom, manifest.get("metrics") or {})
+        print(f"prometheus: {args.prom}")
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -660,6 +831,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics", action="store_true",
             help="collect and print the run's metrics snapshot",
         )
+        p.add_argument(
+            "--stream", metavar="TARGET", default=None,
+            help="stream live telemetry as repro-live JSON lines to a "
+                 "file path, fd://N, or unix://SOCKET (tail it with "
+                 "'repro top --stream PATH --follow')",
+        )
+        p.add_argument(
+            "--stream-every", type=int, default=10, metavar="N",
+            help="metrics-snapshot cadence on the live stream, in "
+                 "supersteps (default %(default)s; 0 disables "
+                 "periodic snapshots)",
+        )
+        p.add_argument(
+            "--prom", metavar="PATH", default=None,
+            help="write the run's final metrics snapshot in Prometheus "
+                 "text exposition format",
+        )
 
     def add_runs_dir_arg(p: argparse.ArgumentParser) -> None:
         """Attach the registry-location argument."""
@@ -713,6 +901,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--timeline", action="store_true",
         help="also print the ASCII per-GPU timeline",
+    )
+    p_profile.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="also write the metrics snapshot in Prometheus text "
+             "exposition format",
     )
     add_record_args(p_profile)
     p_profile.set_defaults(func=_cmd_profile)
@@ -855,6 +1048,78 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report what would be deleted, delete nothing")
     add_runs_dir_arg(p_gc)
     p_gc.set_defaults(func=_cmd_runs_gc)
+
+    p_top = sub.add_parser(
+        "top",
+        help="terminal dashboard: tail a live telemetry stream or "
+             "replay a recorded run",
+    )
+    p_top.add_argument(
+        "ref", nargs="?", default=None,
+        help="recorded run to replay (id, prefix, 'latest', or a run "
+             "directory path); omit when tailing --stream",
+    )
+    p_top.add_argument(
+        "--stream", metavar="PATH", default=None,
+        help="tail a repro-live stream file instead of replaying a "
+             "recorded run",
+    )
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="with --stream: keep polling until the producer writes "
+             "its end event",
+    )
+    p_top.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="with --follow: stop waiting after this many seconds",
+    )
+    p_top.add_argument(
+        "--speed", type=float, default=0.0, metavar="X",
+        help="replay pacing as a multiple of virtual time "
+             "(default 0 = as fast as possible)",
+    )
+    p_top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="cap the number of redrawn frames (for CI smoke tests)",
+    )
+    p_top.add_argument(
+        "--no-ansi", action="store_true",
+        help="print frames sequentially instead of clearing the screen",
+    )
+    add_runs_dir_arg(p_top)
+    p_top.set_defaults(func=_cmd_top)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="service-level objectives: check runs against "
+             "repro-slo/1 rule files",
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+    p_slo_check = slo_sub.add_parser(
+        "check",
+        help="evaluate a rule file against a recorded run; exit 1 on "
+             "violation",
+    )
+    p_slo_check.add_argument(
+        "ref", nargs="?", default="latest",
+        help="run reference (default: latest; also accepts a run "
+             "directory path such as benchmarks/reference/tx-bfs-4gpu)",
+    )
+    p_slo_check.add_argument(
+        "--rules", required=True, metavar="RULES.yaml",
+        help="repro-slo/1 rule file (YAML or JSON)",
+    )
+    p_slo_check.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the full report as JSON",
+    )
+    p_slo_check.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="also write the run's archived metrics snapshot in "
+             "Prometheus text format",
+    )
+    add_runs_dir_arg(p_slo_check)
+    p_slo_check.set_defaults(func=_cmd_slo_check)
     return parser
 
 

@@ -673,6 +673,7 @@ class GumScheduler(Scheduler):
     # ------------------------------------------------------------------
     def observe(self, record: IterationRecord, context: RunContext) -> None:
         """Record feedback from the executed iteration."""
+        super().observe(record, context)
         state = self._state
         if state is None:
             return

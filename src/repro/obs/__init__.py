@@ -55,6 +55,18 @@ from repro.obs.analysis import (
     build_dag,
     replay,
 )
+from repro.obs.live import (
+    StreamingSink,
+    read_stream_events,
+)
+from repro.obs.prom import prom_text, write_prom
+from repro.obs.slo import (
+    SloPolicy,
+    SloReport,
+    evaluate,
+    load_policy,
+    slo_indicators,
+)
 
 __all__ = [
     "SpanRecord",
@@ -85,4 +97,13 @@ __all__ = [
     "analyze",
     "build_dag",
     "replay",
+    "StreamingSink",
+    "read_stream_events",
+    "prom_text",
+    "write_prom",
+    "SloPolicy",
+    "SloReport",
+    "evaluate",
+    "load_policy",
+    "slo_indicators",
 ]

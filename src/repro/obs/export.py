@@ -84,16 +84,42 @@ def iteration_spans(
     return spans
 
 
+def _chaos_instant(event: dict, clock: float) -> SpanRecord:
+    """Fault marker identical to the live ``chaos.{kind}`` instant."""
+    return SpanRecord(
+        name=f"chaos.{event.get('kind')}",
+        track=COORDINATOR_TRACK,
+        kind="instant",
+        cat="chaos",
+        virtual_start=clock,
+        virtual_dur=0.0,
+        attrs=dict(event),
+    )
+
+
 def result_to_spans(result: RunResult) -> List[SpanRecord]:
     """Replay a finished run as the spans a live tracer would emit.
 
     Includes the ``osteal.group_change`` instants between iterations
-    whose group size differs — the Figure 9 switching events.
+    whose group size differs (the Figure 9 switching events) and, for
+    chaos runs, the ``chaos.{kind}`` fault markers the engine emitted
+    live — each placed at the virtual clock *before* its faulted
+    iteration, exactly where ``BSPEngine._apply_faults`` put it.
     """
     spans: List[SpanRecord] = []
     clock = 0.0
     prev_group: Optional[int] = None
+    chaos_events: List[dict] = list(
+        (result.chaos or {}).get("events") or []
+    )
     for record in result.iterations:
+        remaining = []
+        for event in chaos_events:
+            if event.get("iteration") == record.iteration:
+                spans.append(_chaos_instant(event, clock))
+            else:
+                remaining.append(event)
+        chaos_events = remaining
         spans.extend(iteration_spans(record, clock, engine=result.engine))
         group = record.osteal_group_size
         if group is not None and prev_group is not None \
@@ -111,6 +137,8 @@ def result_to_spans(result: RunResult) -> List[SpanRecord]:
         if group is not None:
             prev_group = group
         clock += record.wall_seconds
+    # faults scheduled past the last executed iteration never fired
+    # live, so they are (correctly) absent here too
     return spans
 
 

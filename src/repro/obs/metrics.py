@@ -31,7 +31,29 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "quantile",
 ]
+
+
+def quantile(values: List[float], q: float) -> Optional[float]:
+    """Linear-interpolated quantile of ``values`` (``None`` if empty).
+
+    Deterministic and dependency-free (no numpy) so snapshot output is
+    byte-stable across processes. ``values`` need not be sorted.
+    """
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(float(v) for v in values)
+    return _quantile_sorted(ordered, q)
+
+
+def _quantile_sorted(ordered: List[float], q: float) -> float:
+    rank = q * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
 def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
@@ -105,9 +127,19 @@ class Histogram:
 
     Buckets are powers of ten of the observed value — wide enough for
     quantities spanning nanoseconds to seconds without configuration.
+
+    Quantiles (p50/p90/p99) come from a bounded sample buffer: every
+    sample is kept until the cap, after which the buffer is decimated
+    to every other sample and only every ``stride``-th observation is
+    retained. The schedule is purely deterministic (no random
+    reservoir), so two processes observing the same sequence snapshot
+    byte-identical quantiles — the property ``runs diff`` relies on.
     """
 
     kind = "histogram"
+
+    #: Sample-buffer cap before deterministic stride doubling.
+    SAMPLE_CAP = 4096
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
@@ -117,6 +149,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._buckets: Dict[int, int] = {}
+        self._samples: List[float] = []
+        self._stride = 1
+        self._pending = 0
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -132,14 +167,26 @@ class Histogram:
         )
         key = int(exponent) if exponent != -math.inf else -999
         self._buckets[key] = self._buckets.get(key, 0) + 1
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.SAMPLE_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> Optional[float]:
         """Arithmetic mean of the samples seen so far."""
         return self.sum / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile from the retained sample buffer."""
+        return quantile(self._samples, q)
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-friendly state (sorted buckets, plain scalars)."""
+        ordered = sorted(self._samples)  # one sort for all quantiles
         return {
             "type": self.kind,
             "count": int(self.count),
@@ -147,6 +194,9 @@ class Histogram:
             "mean": None if self.mean is None else float(self.mean),
             "min": None if self.min is None else float(self.min),
             "max": None if self.max is None else float(self.max),
+            "p50": _quantile_sorted(ordered, 0.50) if ordered else None,
+            "p90": _quantile_sorted(ordered, 0.90) if ordered else None,
+            "p99": _quantile_sorted(ordered, 0.99) if ordered else None,
             "decade_buckets": {
                 f"1e{exp}" if exp != -999 else "0": int(count)
                 for exp, count in sorted(self._buckets.items())
@@ -200,15 +250,23 @@ class Timeseries:
     def __len__(self) -> int:
         return len(self._values)
 
-    def snapshot(self) -> Dict[str, object]:
-        """JSON-friendly state (plain scalars, stable order)."""
-        return {
+    def snapshot(self, light: bool = False) -> Dict[str, object]:
+        """JSON-friendly state (plain scalars, stable order).
+
+        ``light`` omits the per-iteration ``index``/``values`` arrays —
+        the shape live streaming ships on a cadence, where copying (and
+        serializing) the whole history every beat would make streaming
+        cost quadratic in run length.
+        """
+        out: Dict[str, object] = {
             "type": self.kind,
             "count": len(self._values),
             "last": self.last(),
-            "index": list(self._index),
-            "values": list(self._values),
         }
+        if not light:
+            out["index"] = list(self._index)
+            out["values"] = list(self._values)
+        return out
 
 
 class MetricsRegistry:
@@ -262,12 +320,21 @@ class MetricsRegistry:
         """Registered instrument names, sorted."""
         return sorted(self._instruments)
 
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """All instruments' state, keyed by name (JSON-friendly)."""
-        return {
-            name: self._instruments[name].snapshot()
-            for name in self.names()
-        }
+    def snapshot(self, light: bool = False) -> Dict[str, Dict[str, object]]:
+        """All instruments' state, keyed by name (JSON-friendly).
+
+        ``light`` summarizes timeseries instruments to their
+        ``count``/``last`` fields (see :meth:`Timeseries.snapshot`) —
+        scalars and histograms are already cheap.
+        """
+        out = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if light and instrument.kind == "timeseries":
+                out[name] = instrument.snapshot(light=True)
+            else:
+                out[name] = instrument.snapshot()
+        return out
 
     def collect(self, prefix: str) -> Dict[str, Dict[str, object]]:
         """Snapshots of the instruments whose name starts with ``prefix``.
@@ -315,6 +382,9 @@ class _NullInstrument:
         return []
 
     def last(self) -> Optional[float]:
+        return None
+
+    def quantile(self, q: float) -> Optional[float]:
         return None
 
     def total(self) -> float:

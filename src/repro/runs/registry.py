@@ -350,7 +350,12 @@ class RunRegistry:
             raise RunRegistryError(
                 f"{self.resolve(ref).name}: no archived timeseries"
             )
-        return json.loads(path.read_text())
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RunRegistryError(
+                f"{path}: corrupt timeseries ({exc.msg})"
+            ) from exc
 
     # -- maintenance ----------------------------------------------------
     def gc(self, keep: int = 20, dry_run: bool = False) -> List[str]:

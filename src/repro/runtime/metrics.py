@@ -119,6 +119,22 @@ class RunResult:
     #: and retry counters) when a chaos controller drove the run;
     #: ``None`` on healthy runs.
     chaos: Optional[Dict[str, object]] = None
+    #: Host seconds the run spent inside observability code (span and
+    #: metric emission). Zero with both observers disabled.
+    obs_seconds: float = 0.0
+    #: Host wall-clock seconds of the whole ``run()`` call — the
+    #: denominator of ``obs_overhead_pct``.
+    run_wall_seconds: float = 0.0
+
+    def obs_overhead_pct(self) -> Optional[float]:
+        """Observability overhead as a percentage of run wall time.
+
+        ``None`` when the run predates self-measurement (no wall time
+        recorded) — old archived manifests stay diffable.
+        """
+        if self.run_wall_seconds <= 0.0:
+            return None
+        return 100.0 * self.obs_seconds / self.run_wall_seconds
 
     @property
     def total_seconds(self) -> float:

@@ -127,7 +127,28 @@ class Scheduler(abc.ABC):
         """
 
     def observe(self, record: IterationRecord, context: RunContext) -> None:
-        """Feedback after the engine priced and ran the iteration."""
+        """Feedback after the engine priced and ran the iteration.
+
+        The base implementation publishes the scheduler's own decision
+        latency — host seconds spent inside :meth:`plan` — to the run's
+        metrics registry, so every policy (static or stateful) shows up
+        in the live telemetry stream with the same instruments.
+        Stateful overrides should call ``super().observe(...)`` to keep
+        emitting them.
+        """
+        metrics = context.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.histogram(
+                "scheduler.decision_seconds",
+                "host seconds per plan() decision",
+            ).observe(record.real_decision_seconds)
+            metrics.timeseries(
+                "scheduler.decision_ms_series",
+                "per-superstep decision latency (ms)",
+            ).append(
+                record.real_decision_seconds * 1e3,
+                index=record.iteration,
+            )
 
     def on_fault(self, event: "FaultEvent", context: RunContext) -> None:
         """React to an injected fault before the iteration is planned.

@@ -1,0 +1,154 @@
+"""Chrome-trace round-trips for chaos runs.
+
+The Perfetto export is the artifact people attach to incident reports,
+so the fault markers a chaos run emits must survive the full loop:
+``result_to_spans`` -> ``write_chrome_trace`` -> ``json.load``. These
+tests pin that, plus the two container edge cases: an empty run still
+writes a loadable file, and a truncated file fails loudly (the Chrome
+container is a single JSON object — tail-tolerance is the live
+stream's job, not this format's).
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.chaos import ChaosController, ChaosScenario, FaultSpec
+from repro.core import GumConfig
+from repro.obs import (
+    ChromeTraceSink,
+    InMemorySink,
+    Tracer,
+    result_to_spans,
+    write_chrome_trace,
+)
+from repro.runtime.metrics import RunResult
+
+
+@pytest.fixture(scope="module")
+def chaos_result(skewed_graph, source):
+    chaos = ChaosController(ChaosScenario(
+        name="roundtrip-kill",
+        faults=(FaultSpec("kill_worker", 1, {"worker": 2}),),
+        seed=0,
+    ))
+    return repro.run(
+        skewed_graph, "bfs", num_gpus=4, source=source,
+        gum_config=GumConfig(cost_model="oracle"), chaos=chaos,
+    )
+
+
+def _load_trace(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _chaos_markers(payload):
+    return [e for e in payload["traceEvents"]
+            if e.get("cat") == "chaos"]
+
+
+def test_fault_markers_survive_roundtrip(tmp_path, chaos_result):
+    fired = chaos_result.chaos["events"]
+    assert fired, "scenario must actually fire for this test to bite"
+
+    path = write_chrome_trace(
+        tmp_path / "chaos.trace.json",
+        result_to_spans(chaos_result),
+        meta={"scenario": "roundtrip-kill"},
+    )
+    payload = _load_trace(path)
+    markers = _chaos_markers(payload)
+    assert len(markers) == len(fired)
+    marker, event = markers[0], fired[0]
+    assert marker["name"] == f"chaos.{event['kind']}"
+    assert marker["ph"] == "i"  # instant, renders as a marker line
+    assert marker["args"]["kind"] == event["kind"]
+    assert marker["args"]["iteration"] == event["iteration"]
+    assert payload["otherData"]["scenario"] == "roundtrip-kill"
+
+
+def test_marker_lands_before_its_faulted_iteration(tmp_path,
+                                                   chaos_result):
+    path = write_chrome_trace(tmp_path / "t.json",
+                              result_to_spans(chaos_result))
+    events = _load_trace(path)["traceEvents"]
+    marker = _chaos_markers({"traceEvents": events})[0]
+    faulted = marker["args"]["iteration"]
+    superstep_ts = {
+        e["args"]["iteration"]: e["ts"]
+        for e in events
+        if e.get("name") == "superstep" and "args" in e
+    }
+    # the marker sits exactly at the virtual clock where the faulted
+    # superstep begins — where BSPEngine._apply_faults stamped it live
+    assert marker["ts"] == pytest.approx(superstep_ts[faulted])
+    json.dumps(events)  # args stayed JSON-pure through the round trip
+
+
+def test_live_chrome_sink_carries_the_same_markers(tmp_path,
+                                                   skewed_graph,
+                                                   source):
+    """A ChromeTraceSink attached during the run and the post-hoc
+    export agree on the fault markers (name, ts, iteration)."""
+    chaos = ChaosController(ChaosScenario(
+        name="live-vs-posthoc",
+        faults=(FaultSpec("kill_worker", 1, {"worker": 2}),),
+        seed=0,
+    ))
+    live_path = tmp_path / "live.trace.json"
+    tracer = Tracer(sinks=[InMemorySink(),
+                           ChromeTraceSink(live_path)])
+    result = repro.run(
+        skewed_graph, "bfs", num_gpus=4, source=source,
+        gum_config=GumConfig(cost_model="oracle"), chaos=chaos,
+        tracer=tracer,
+    )
+    tracer.close()
+    posthoc_path = write_chrome_trace(tmp_path / "posthoc.trace.json",
+                                      result_to_spans(result))
+
+    def marker_keys(path):
+        return sorted(
+            (e["name"], e["ts"], e["args"]["iteration"])
+            for e in _chaos_markers(_load_trace(path))
+        )
+
+    assert marker_keys(live_path) == marker_keys(posthoc_path)
+    assert marker_keys(live_path)
+
+
+def test_empty_run_writes_a_loadable_trace(tmp_path):
+    import numpy as np
+
+    empty = RunResult(engine="gum", algorithm="bfs", graph_name="TX",
+                      num_gpus=4, values=np.zeros(1), iterations=[])
+    path = write_chrome_trace(tmp_path / "empty.trace.json",
+                              result_to_spans(empty),
+                              meta={"note": "zero iterations"})
+    payload = _load_trace(path)
+    # no spans, but the container is complete and Perfetto-loadable
+    assert payload["traceEvents"] == []
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"]["note"] == "zero iterations"
+
+
+def test_truncated_trace_fails_loudly(tmp_path, chaos_result):
+    path = write_chrome_trace(tmp_path / "cut.trace.json",
+                              result_to_spans(chaos_result))
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 40])
+    with pytest.raises(json.JSONDecodeError):
+        _load_trace(path)
+
+
+def test_chrome_sink_close_is_idempotent(tmp_path, chaos_result):
+    path = tmp_path / "once.trace.json"
+    sink = ChromeTraceSink(path)
+    for span in result_to_spans(chaos_result):
+        sink.emit(span)
+    sink.close()
+    first = path.read_bytes()
+    sink.close()  # second close must not rewrite or duplicate
+    assert path.read_bytes() == first

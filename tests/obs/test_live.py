@@ -1,0 +1,255 @@
+"""Live streaming: protocol shape, flush contract, live/post-hoc parity.
+
+The pinned invariant: the spans a :class:`StreamingSink` puts on the
+wire during a run are exactly the spans a post-hoc
+:func:`result_to_spans` replay produces for the same run
+(order-insensitive) — including chaos fault markers — so live
+consumers and offline analytics can never disagree about what a run
+did.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.chaos import ChaosController, ChaosScenario, FaultSpec
+from repro.core import GumConfig
+from repro.errors import ReproError
+from repro.obs import (
+    InMemorySink,
+    MetricsRegistry,
+    SpanRecord,
+    StreamingSink,
+    Tracer,
+    read_stream_events,
+    result_to_spans,
+)
+from repro.obs.live import STREAM_FORMAT, STREAM_VERSION, iter_stream_lines
+
+
+def _span(name="superstep", iteration=0, **attrs):
+    return SpanRecord(
+        name=name, track="coordinator", cat="engine",
+        virtual_start=0.001 * iteration, virtual_dur=0.001,
+        attrs={"iteration": iteration, **attrs},
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol shape
+# ----------------------------------------------------------------------
+def test_stream_header_and_end(tmp_path):
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path, meta={"engine": "gum", "graph": "TX"})
+    sink.emit(_span(iteration=0))
+    sink.close()
+    events = read_stream_events(path)
+    header = events[0]
+    assert header["format"] == STREAM_FORMAT
+    assert header["version"] == STREAM_VERSION
+    assert header["engine"] == "gum"
+    assert events[-1] == {"event": "end", "spans": 1}
+
+
+def test_span_events_preserve_record_kind(tmp_path):
+    """The envelope key is ``event``; the record's own ``kind`` field
+    (span vs instant) must survive untouched."""
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path)
+    sink.emit(_span())
+    instant = SpanRecord(name="chaos.kill_worker", track="coordinator",
+                         kind="instant", cat="chaos",
+                         virtual_start=0.0, virtual_dur=0.0)
+    sink.emit(instant)
+    sink.close()
+    spans = [e for e in read_stream_events(path) if e.get("event") == "span"]
+    assert [s["kind"] for s in spans] == ["span", "instant"]
+
+
+def test_periodic_snapshots_are_light_final_is_full(tmp_path):
+    registry = MetricsRegistry()
+    registry.timeseries("engine.wall_ms_series").append(0.5, index=0)
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path, metrics=registry, snapshot_every=2)
+    for i in range(4):
+        registry.counter("engine.iterations").inc()
+        sink.emit(_span(iteration=i))
+    sink.close()
+    snapshots = [e for e in read_stream_events(path)
+                 if e.get("event") == "metrics"]
+    # two periodic (after supersteps 2 and 4) + one final
+    assert len(snapshots) == 3
+    periodic, final = snapshots[0], snapshots[-1]
+    series = periodic["snapshot"]["engine.wall_ms_series"]
+    assert "values" not in series and "index" not in series
+    assert series["count"] == 1 and series["last"] == 0.5
+    assert final["snapshot"]["engine.wall_ms_series"]["values"] == [0.5]
+
+
+def test_instants_flush_immediately_spans_batch(tmp_path):
+    """Chaos markers must hit the wire at once; ordinary span lines may
+    wait for the heartbeat."""
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path, snapshot_every=10)
+    sink.emit(_span(name="busy", iteration=0))
+    assert list(iter_stream_lines(path)) == [
+        {"format": STREAM_FORMAT, "version": STREAM_VERSION}
+    ]  # header flushed, busy line still buffered
+    sink.emit(SpanRecord(name="chaos.kill_worker", kind="instant",
+                         cat="chaos", virtual_start=0.0, virtual_dur=0.0))
+    on_wire = [e.get("name") for e in iter_stream_lines(path)
+               if e.get("event") == "span"]
+    assert on_wire == ["busy", "chaos.kill_worker"]
+    sink.close()
+
+
+def test_snapshot_every_zero_disables_periodic(tmp_path):
+    registry = MetricsRegistry()
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path, metrics=registry, snapshot_every=0)
+    for i in range(25):
+        sink.emit(_span(iteration=i))
+    sink.close()
+    snapshots = [e for e in read_stream_events(path)
+                 if e.get("event") == "metrics"]
+    assert len(snapshots) == 1  # only the final full snapshot
+
+
+# ----------------------------------------------------------------------
+# Targets and reader edge cases
+# ----------------------------------------------------------------------
+def test_fd_target(tmp_path):
+    path = tmp_path / "fd.stream"
+    with open(path, "w") as handle:
+        sink = StreamingSink(f"fd://{handle.fileno()}")
+        sink.emit(_span())
+        sink.close()
+    events = read_stream_events(path)
+    assert [e.get("event") for e in events[1:]] == ["span", "end"]
+
+
+def test_bad_fd_target_raises():
+    with pytest.raises(ReproError, match="fd://"):
+        StreamingSink("fd://notanumber")
+
+
+def test_unconnectable_socket_target_raises(tmp_path):
+    with pytest.raises(ReproError, match="socket"):
+        StreamingSink(f"unix://{tmp_path}/no-such.sock")
+
+
+def test_unwritable_path_raises(tmp_path):
+    target = tmp_path / "dir-in-the-way"
+    target.mkdir()
+    with pytest.raises(ReproError, match="cannot open stream file"):
+        StreamingSink(target)
+
+
+def test_reader_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "run.stream"
+    sink = StreamingSink(path)
+    sink.emit(_span())
+    sink.close()
+    text = path.read_text()
+    path.write_text(text + '{"event":"span","name":"half')  # no newline
+    events = list(iter_stream_lines(path))
+    assert [e.get("event") for e in events[1:]] == ["span", "end"]
+
+
+def test_reader_rejects_malformed_complete_line(tmp_path):
+    path = tmp_path / "run.stream"
+    path.write_text('{"format":"repro-live","version":1}\nnot json\n')
+    with pytest.raises(ReproError, match="malformed stream line"):
+        list(iter_stream_lines(path))
+
+
+def test_reader_rejects_wrong_format(tmp_path):
+    path = tmp_path / "run.stream"
+    path.write_text('{"format":"something-else"}\n')
+    with pytest.raises(ReproError, match="not a repro-live stream"):
+        read_stream_events(path)
+
+
+def test_reader_rejects_empty_stream(tmp_path):
+    path = tmp_path / "run.stream"
+    path.write_text("")
+    with pytest.raises(ReproError, match="empty stream"):
+        read_stream_events(path)
+
+
+# ----------------------------------------------------------------------
+# Live vs post-hoc parity (the tentpole invariant)
+# ----------------------------------------------------------------------
+def _virtual_span_set(records):
+    """Order-insensitive view of the virtual-clock spans."""
+    return sorted(
+        (json.dumps(r.as_dict(), sort_keys=True) for r in records
+         if r.virtual_start is not None),
+    )
+
+
+def _streamed_span_set(path):
+    spans = []
+    for event in read_stream_events(path):
+        if event.get("event") != "span":
+            continue
+        event = {k: v for k, v in event.items() if k != "event"}
+        if "virtual_start" in event:
+            spans.append(json.dumps(event, sort_keys=True))
+    return sorted(spans)
+
+
+def _traced_run(tmp_path, skewed_graph, source, chaos=None):
+    metrics = MetricsRegistry()
+    memory = InMemorySink()
+    path = tmp_path / "run.stream"
+    stream = StreamingSink(path, metrics=metrics)
+    tracer = Tracer(sinks=[memory, stream])
+    result = repro.run(
+        skewed_graph, "bfs", num_gpus=4, source=source,
+        gum_config=GumConfig(cost_model="oracle"),
+        tracer=tracer, metrics=metrics, chaos=chaos,
+    )
+    memory.close()
+    stream.close()
+    return result, memory, path
+
+
+def test_live_stream_matches_post_hoc_replay(tmp_path, skewed_graph,
+                                             source):
+    result, memory, path = _traced_run(tmp_path, skewed_graph, source)
+    live = _virtual_span_set(memory.records)
+    streamed = _streamed_span_set(path)
+    post_hoc = _virtual_span_set(result_to_spans(result))
+    assert streamed == live
+    assert post_hoc == live
+    assert len(live) > 0
+
+
+def test_live_stream_matches_post_hoc_replay_with_chaos(
+        tmp_path, skewed_graph, source):
+    chaos = ChaosController(ChaosScenario(
+        faults=(FaultSpec("kill_worker", 1, {"worker": 2}),),
+        seed=0,
+    ))
+    result, memory, path = _traced_run(tmp_path, skewed_graph, source,
+                                       chaos=chaos)
+    live = _virtual_span_set(memory.records)
+    streamed = _streamed_span_set(path)
+    post_hoc = _virtual_span_set(result_to_spans(result))
+    assert streamed == live
+    assert post_hoc == live
+    # the fault marker is on the wire, live and post-hoc alike
+    assert any('"chaos.kill_worker"' in span for span in streamed)
+    assert any('"chaos.kill_worker"' in span for span in post_hoc)
+
+
+def test_streaming_leaves_virtual_clock_untouched(tmp_path, skewed_graph,
+                                                  source):
+    silent = repro.run(skewed_graph, "bfs", num_gpus=4, source=source,
+                       gum_config=GumConfig(cost_model="oracle"))
+    streamed, _, _ = _traced_run(tmp_path, skewed_graph, source)
+    assert streamed.total_ms == silent.total_ms
+    assert streamed.timeseries() == silent.timeseries()

@@ -1,0 +1,140 @@
+"""Exit-code contract: every subcommand turns ReproError into 2.
+
+``main()`` promises that bad *inputs* (missing files, unknown refs,
+malformed rules) exit with code 2 and a single ``error:`` line on
+stderr — never a traceback, and never the gate codes 0/1 that CI
+scripts branch on. Each case below forces a ReproError through a
+different subcommand's code path.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REFERENCE_RUN = str(
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "reference" / "tx-bfs-4gpu"
+)
+
+# each entry: (id, argv builder taking the tmp registry dir)
+CASES = [
+    ("run-chaos-missing", lambda d: [
+        "run", "--graph", "TX", "--algorithm", "bfs", "--gpus", "2",
+        "--chaos", str(d / "absent-scenario.json"),
+    ]),
+    ("compare-chaos-missing", lambda d: [
+        "compare", "--graph", "TX", "--algorithm", "bfs", "--gpus", "2",
+        "--chaos", str(d / "absent-scenario.json"),
+    ]),
+    ("profile-chaos-missing", lambda d: [
+        "profile", "--graph", "TX", "--algorithm", "bfs", "--gpus", "2",
+        "--out", str(d / "trace.json"),
+        "--chaos", str(d / "absent-scenario.json"),
+    ]),
+    ("bench-filter-matches-nothing", lambda d: [
+        "bench", "--filter", "zzz-no-such-case",
+        "--out", str(d / "bench.json"), "--no-compare",
+    ]),
+    ("runs-record-chaos-missing", lambda d: [
+        "runs", "record", "--graph", "TX", "--algorithm", "bfs",
+        "--gpus", "2", "--runs-dir", str(d),
+        "--chaos", str(d / "absent-scenario.json"),
+    ]),
+    ("runs-show-unknown-ref", lambda d: [
+        "runs", "show", "zzz-unknown", "--runs-dir", str(d),
+    ]),
+    ("runs-analyze-unknown-ref", lambda d: [
+        "runs", "analyze", "zzz-unknown", "--runs-dir", str(d),
+    ]),
+    ("runs-diff-unknown-refs", lambda d: [
+        "runs", "diff", "zzz-base", "zzz-current",
+        "--runs-dir", str(d),
+    ]),
+    ("runs-gc-negative-keep", lambda d: [
+        "runs", "gc", "--keep", "-1", "--runs-dir", str(d),
+    ]),
+    ("top-unknown-ref", lambda d: [
+        "top", "zzz-unknown", "--no-ansi", "--runs-dir", str(d),
+    ]),
+    ("top-no-ref-no-stream", lambda d: [
+        "top", "--no-ansi", "--runs-dir", str(d),
+    ]),
+    ("slo-check-missing-rules", lambda d: [
+        "slo", "check", "latest",
+        "--rules", str(d / "absent-rules.yaml"),
+        "--runs-dir", str(d),
+    ]),
+]
+
+
+@pytest.mark.parametrize(
+    "argv_for", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+)
+def test_bad_input_exits_2_with_one_line_error(
+    argv_for, tmp_path, capsys
+):
+    assert main(argv_for(tmp_path)) == 2
+    err = capsys.readouterr().err
+    error_lines = [
+        line for line in err.splitlines() if line.startswith("error: ")
+    ]
+    assert len(error_lines) == 1
+    assert "Traceback" not in err
+
+
+def test_gate_exit_codes_stay_distinct(tmp_path):
+    """runs diff reserves 1 for 'regressed', 2 for 'bad input'.
+
+    A missing base manifest must therefore exit 2, not 1 — this is
+    what lets CI distinguish "perf regressed" from "the script is
+    broken".
+    """
+    rc = main(["runs", "diff", "zzz-a", "zzz-b",
+               "--runs-dir", str(tmp_path)])
+    assert rc == 2
+
+
+def test_committed_reference_passes_committed_rules(tmp_path, capsys):
+    """The CI slo-gate contract: the rule file we ship must hold
+    against the reference run we ship."""
+    import json
+
+    rules = str(Path(REFERENCE_RUN).parents[1]
+                / "slo" / "reference.yaml")
+    report_path = tmp_path / "slo-report.json"
+    rc = main(["slo", "check", REFERENCE_RUN, "--rules", rules,
+               "--report", str(report_path),
+               "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "OK:" in out and "FAIL" not in out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    assert report["schema"] == "repro-slo/1"
+
+
+def test_slo_violation_exits_1_not_2(tmp_path, capsys):
+    """A run that *fails* its SLOs is exit 1; only bad input is 2."""
+    rules = tmp_path / "rules.json"
+    rules.write_text(
+        '{"schema": "repro-slo/1", '
+        '"rules": [{"metric": "total_ms", "max": 30}]}'
+    )
+    rc = main(["slo", "check", REFERENCE_RUN,
+               "--rules", str(rules), "--runs-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert rc == 0
+
+    tightened = tmp_path / "tight.json"
+    tightened.write_text(
+        '{"schema": "repro-slo/1", '
+        '"rules": [{"metric": "total_ms", "max": 0.001}]}'
+    )
+    rc = main(["slo", "check", REFERENCE_RUN,
+               "--rules", str(tightened), "--runs-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "FAIL total_ms" in out
+    assert "VIOLATION" in out
