@@ -62,6 +62,10 @@ class GASAlgorithm(abc.ABC):
     needs_weights: bool = False
     needs_symmetric: bool = False
     monotonic: bool = False
+    #: the superstep can be computed as independent per-fragment
+    #: partials merged by an *exact* associative reduction (see
+    #: :meth:`fragment_step`); required for process-parallel execution
+    supports_fragment_step: bool = False
 
     @abc.abstractmethod
     def init(self, graph: CSRGraph, **params: Any) -> AlgorithmState:
@@ -89,6 +93,56 @@ class GASAlgorithm(abc.ABC):
         """
         raise NotImplementedError(
             f"{self.name} does not support masked local steps"
+        )
+
+    def fragment_step(
+        self,
+        graph: CSRGraph,
+        values: np.ndarray,
+        vertices: np.ndarray,
+        scratch: np.ndarray = None,
+        edges: "tuple[np.ndarray, np.ndarray]" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Stateless partial superstep over one fragment's frontier slice.
+
+        Runs in a worker process of the shared-memory backend: reads
+        ``values`` (never writes), expands the out-edges of
+        ``vertices``, and returns the partial aggregates the worker
+        scatters into its shared row for :meth:`merge_fragment_rows`
+        to combine in the coordinator. The
+        split is only offered when the aggregation is *exactly*
+        associative (``supports_fragment_step``), so the merged result
+        is bit-identical to :meth:`step` on the whole frontier.
+
+        ``edges`` optionally passes the caller's already-computed
+        ``(sources, positions)`` gather of ``vertices`` — workers share
+        one adjacency walk between the message-cost scan and the relax,
+        like the frontier memo does in-process.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support fragment steps"
+        )
+
+    def merge_fragment_rows(
+        self,
+        graph: CSRGraph,
+        state: AlgorithmState,
+        rows: np.ndarray,
+    ) -> Frontier:
+        """Merge dense per-fragment partial rows; mutate ``state``.
+
+        ``rows`` is a ``(num_fragments, num_vertices)`` array where row
+        ``i`` holds fragment ``i``'s :meth:`fragment_step` partial
+        scattered over the vertex axis (identity element — ``inf`` for
+        min — everywhere untouched). The shared-memory backend has its
+        workers write these rows into a shared mapping, so the
+        coordinator reduces columns without any partials crossing a
+        pickle boundary. Exactness contract: the merged values and
+        frontier must be bit-identical to :meth:`step` over the
+        undivided frontier.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support fragment steps"
         )
 
     def is_converged(self, state: AlgorithmState) -> bool:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.algorithms.base import AlgorithmState, GASAlgorithm
 from repro.graph.csr import CSRGraph
+from repro.graph.gather import gather_edge_positions
 from repro.runtime.frontier import Frontier
 
 __all__ = ["MinPropagation"]
@@ -30,6 +31,10 @@ class MinPropagation(GASAlgorithm):
     """
 
     monotonic = True
+    # min over fragment minima equals the global min bit-for-bit in
+    # float64 (min is exactly associative, unlike float addition), so
+    # min-propagation supersteps can run as per-fragment partials
+    supports_fragment_step = True
 
     def candidates(
         self,
@@ -81,6 +86,58 @@ class MinPropagation(GASAlgorithm):
         """
         sources, positions = state.frontier.edge_positions(graph)
         return self._relax(graph, state, sources, positions)
+
+    def fragment_step(
+        self,
+        graph: CSRGraph,
+        values: np.ndarray,
+        vertices: np.ndarray,
+        scratch: np.ndarray = None,
+        edges: "tuple[np.ndarray, np.ndarray]" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-fragment partial relax: ``(touched, partial minima)``.
+
+        Pure with respect to ``values`` — safe against a shared mapping
+        read concurrently by other workers. ``scratch`` is the caller's
+        reusable ``inf``-filled buffer (restored before returning).
+        """
+        if edges is None:
+            edges = gather_edge_positions(graph, vertices)
+        sources, positions = edges
+        if sources.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        destinations = graph.indices[positions]
+        weights = (
+            graph.weights[positions] if graph.weights is not None else None
+        )
+        cand = self.candidates(values, sources, weights)
+        if scratch is None:
+            scratch = np.full(graph.num_vertices, np.inf)
+        touched = np.unique(destinations)
+        np.minimum.at(scratch, destinations, cand)
+        mins = scratch[touched].copy()
+        scratch[touched] = np.inf  # restore for the next task
+        return touched, mins
+
+    def merge_fragment_rows(
+        self,
+        graph: CSRGraph,
+        state: AlgorithmState,
+        rows: np.ndarray,
+    ) -> Frontier:
+        """Column-wise min over per-fragment partial rows (exact merge).
+
+        ``min(min_f1, min_f2, ...)`` equals the global min bit-for-bit
+        in float64, so the merged values and the activated frontier are
+        identical to :meth:`step` over the undivided frontier.
+        """
+        merged = np.min(rows, axis=0)
+        improved = np.flatnonzero(merged < state.values)
+        state.values[improved] = merged[improved]
+        return Frontier.from_sorted(improved)
 
     def local_step(
         self,

@@ -1,0 +1,39 @@
+"""Execution backends: where supersteps physically run.
+
+See :mod:`repro.backend.base` for the contract. Select with
+``EngineOptions(backend=...)`` or ``--backend serial|shmem`` on the
+CLI; ``serial`` (the historical in-process path) is the default.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import ExecutionBackend, ExecutionSession
+from repro.backend.serial import SerialBackend, SerialSession
+from repro.backend.shmem import SharedMemoryBackend, SharedMemorySession
+from repro.errors import EngineError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ExecutionSession",
+    "SerialBackend",
+    "SerialSession",
+    "SharedMemoryBackend",
+    "SharedMemorySession",
+    "make_backend",
+]
+
+#: registered backend names, in CLI display order
+BACKEND_NAMES = ("serial", "shmem")
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate a backend by registered name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "shmem":
+        return SharedMemoryBackend()
+    raise EngineError(
+        f"unknown execution backend {name!r}; known: "
+        + ", ".join(BACKEND_NAMES)
+    )

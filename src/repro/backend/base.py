@@ -1,0 +1,116 @@
+"""Execution-backend interface: *where* supersteps physically run.
+
+The BSP engine separates three concerns: the scheduler decides where
+work runs in the *virtual* machine, the timing model prices that plan,
+and the algorithm defines what is computed. The execution backend adds
+a fourth, orthogonal axis — which host resources actually crunch the
+arrays. :class:`SerialBackend` is today's in-process NumPy path;
+:class:`~repro.backend.shmem.SharedMemoryBackend` fans the same work
+out to one persistent worker process per virtual GPU over
+shared-memory graph buffers.
+
+The hard invariant, mirrored by the equivalence tests: for any
+workload, every backend produces **bit-identical** algorithm outputs
+and virtual-time totals. A backend may only change wall-clock time and
+host-side statistics, exactly like the scheduler may only change
+virtual time.
+
+A backend opens one :class:`ExecutionSession` per run. The engine
+drives the session with three calls per iteration::
+
+    session.begin_iteration(...)   # after the frontier is split
+    session.message_count(...)     # while pricing cross-GPU messages
+    session.step(...)              # the algorithm superstep
+
+and closes it in a ``finally`` — sessions own process/shared-memory
+lifecycle and must release everything on both clean and exceptional
+exits.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.runtime.frontier import Frontier
+
+if TYPE_CHECKING:
+    from repro.algorithms.base import AlgorithmState, GASAlgorithm
+    from repro.graph.csr import CSRGraph
+    from repro.partition.base import Partition
+    from repro.runtime.scheduler import RunContext
+
+__all__ = ["ExecutionBackend", "ExecutionSession"]
+
+
+class ExecutionSession(abc.ABC):
+    """Per-run execution context created by :meth:`ExecutionBackend.open`."""
+
+    def begin_iteration(
+        self,
+        iteration: int,
+        fragment_frontiers: "Sequence[Frontier]",
+        context: "RunContext",
+    ) -> None:
+        """Announce the iteration's distributed frontier.
+
+        Called after the frontier split, before planning/pricing —
+        a parallel backend dispatches work here so workers overlap
+        with the coordinator's scheduling decision.
+        """
+
+    @abc.abstractmethod
+    def message_count(
+        self,
+        iteration: int,
+        frontier: Frontier,
+        aggregate: bool,
+        context: "RunContext",
+    ) -> int:
+        """Messages crossing worker boundaries this iteration.
+
+        With ``aggregate`` (early aggregation), one message per
+        distinct remote destination; otherwise one per cross edge.
+        Must equal the serial count exactly — it feeds virtual-time
+        pricing.
+        """
+
+    @abc.abstractmethod
+    def step(
+        self,
+        iteration: int,
+        algorithm: "GASAlgorithm",
+        graph: "CSRGraph",
+        state: "AlgorithmState",
+    ) -> Frontier:
+        """Execute the algorithm superstep; return the next frontier."""
+
+    def stats(self) -> Optional[dict]:
+        """Host-side execution statistics for the run result."""
+        return None
+
+    def close(self, state: "Optional[AlgorithmState]" = None) -> None:
+        """Release workers and shared resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ExecutionBackend(abc.ABC):
+    """Factory for per-run execution sessions."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def open(
+        self,
+        graph: "CSRGraph",
+        partition: "Partition",
+        algorithm: "GASAlgorithm",
+        state: "AlgorithmState",
+        context: "RunContext",
+    ) -> ExecutionSession:
+        """Start a session for one run (spawning workers if needed)."""

@@ -1,0 +1,106 @@
+"""Shared-memory block bookkeeping for the process-parallel backend.
+
+Thin wrappers over :mod:`multiprocessing.shared_memory` with the two
+pieces of hygiene the backend's lifecycle contract needs:
+
+* every block created by the coordinator is tracked in a module-level
+  registry with an ``atexit`` backstop, so an interpreter that dies
+  mid-run (test failure, ^C) still unlinks its ``/dev/shm`` segments;
+* blocks are owned by the coordinator: workers merely attach, and the
+  coordinator's release (or its ``atexit`` hook) is the only unlink.
+  Spawned children share the coordinator's ``resource_tracker``
+  process, so a child attach/exit never triggers an early unlink.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArraySpec",
+    "create_shared_array",
+    "attach_shared_array",
+    "release_shared_array",
+    "live_block_names",
+]
+
+#: blocks created (and therefore owned) by this process, by name
+_LIVE_BLOCKS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _cleanup_leftovers() -> None:
+    """atexit backstop: unlink anything a crashed run left behind."""
+    for name in list(_LIVE_BLOCKS):
+        shm = _LIVE_BLOCKS.pop(name)
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_leftovers)
+
+
+def live_block_names() -> Tuple[str, ...]:
+    """Names of blocks this process has created and not yet released."""
+    return tuple(sorted(_LIVE_BLOCKS))
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable description a worker needs to attach one array."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+def create_shared_array(
+    array: np.ndarray = None,
+    shape: Tuple[int, ...] = None,
+    dtype=None,
+) -> Tuple[shared_memory.SharedMemory, np.ndarray, SharedArraySpec]:
+    """Create an owned block sized for ``array`` (copied in) or ``shape``.
+
+    Returns ``(block, view, spec)``; the caller must eventually pass
+    the block to :func:`release_shared_array`.
+    """
+    if array is not None:
+        shape = array.shape
+        dtype = array.dtype
+    dtype = np.dtype(dtype)
+    size = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    _LIVE_BLOCKS[shm.name] = shm
+    view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+    if array is not None:
+        view[...] = array
+    return shm, view, SharedArraySpec(shm.name, dtype.str, tuple(shape))
+
+
+def attach_shared_array(
+    spec: SharedArraySpec,
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach a coordinator-owned block from a worker process."""
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, view
+
+
+def release_shared_array(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink an owned block (idempotent)."""
+    _LIVE_BLOCKS.pop(shm.name, None)
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass

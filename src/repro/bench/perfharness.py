@@ -667,6 +667,99 @@ def _obs_slo_check():
 
 
 # ----------------------------------------------------------------------
+# Execution-backend cases: one full min-propagation superstep over a
+# generated big graph, identical work under each backend. The shmem
+# side dispatches the superstep to its (already started) worker pool,
+# so serial-vs-shmem is the wall-clock question the backend exists to
+# answer; ``benchmarks/perf/test_backend.py`` turns the pair into a
+# speedup floor on multi-core hosts.
+# ----------------------------------------------------------------------
+def _backend_fixture(backend: str, workers: int = 4):
+    """``(session, superstep)`` over the big-graph backend workload.
+
+    The superstep callable resets the values each call and builds a
+    *fresh* frontier (so the per-frontier gather memo cannot hide the
+    adjacency walk), then drives one dispatch + message-count + step
+    round through the session — exactly the engine's per-iteration
+    session protocol. The caller owns closing the session.
+    """
+    from repro.algorithms import make_algorithm
+    from repro.backend import make_backend
+    from repro.graph.builders import symmetrize
+    from repro.graph.generators import rmat
+    from repro.partition.partitioners import make_partition
+    from repro.runtime.frontier import Frontier
+    from repro.runtime.scheduler import RunContext
+
+    graph = symmetrize(
+        rmat(16, edge_factor=12, seed=1)
+    ).with_name("rmat16")
+    partition = make_partition("random", graph, workers, seed=0)
+    algorithm = make_algorithm("wcc")
+    state = algorithm.init(graph)
+    init_values = np.array(state.values)
+    active = np.array(state.frontier.vertices)
+    context = RunContext(
+        graph=graph, partition=partition, timing=None,
+        fragment_home=np.arange(workers, dtype=np.int64),
+        fragment_worker=np.arange(workers, dtype=np.int64),
+        algorithm_name=algorithm.name,
+        extras={"aggregate_messages": True},
+    )
+    session = make_backend(backend).open(
+        graph, partition, algorithm, state, context
+    )
+    counter = iter(range(1, 1 << 30))
+
+    def superstep():
+        iteration = next(counter)
+        state.values[:] = init_values
+        state.iteration = iteration
+        frontier = Frontier.from_sorted(active)
+        state.frontier = frontier
+        fragments = frontier.split_by_owner(partition.owner, workers)
+        session.begin_iteration(iteration, fragments, context)
+        messages = session.message_count(iteration, frontier, True,
+                                         context)
+        return messages, session.step(
+            iteration, algorithm, graph, state
+        ).size
+
+    return session, superstep
+
+
+#: Sessions opened by bench-case setups, kept alive for the timed
+#: region; their shared blocks are reaped by the registry's atexit
+#: backstop and the workers are daemonic.
+_BACKEND_SESSIONS: List[object] = []
+
+
+def _backend_case(backend: str):
+    def setup():
+        session, superstep = _backend_fixture(backend)
+        _BACKEND_SESSIONS.append(session)
+        return superstep
+
+    return setup
+
+
+for _backend in ("serial", "shmem"):
+    _name = f"backend.{_backend}.superstep.rmat16.4w"
+    BENCH_CASES[_name] = BenchCase(
+        name=_name, setup=_backend_case(_backend),
+        meta={
+            "backend": _backend, "graph": "rmat16x12-sym", "workers": 4,
+            "unit": "seconds per superstep",
+            # wall-clock of a process pool depends on host core count,
+            # so the regression band is wide; the speedup *floor* lives
+            # in benchmarks/perf/test_backend.py where both backends
+            # are measured on the same host
+            "bench_threshold": 0.8,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # Suite driver / report IO
 # ----------------------------------------------------------------------
 def run_suite(

@@ -139,6 +139,11 @@ def make_engine(
     if name == "gunrock":
         return GunrockEngine(topology, options=options, **obs)
     if name == "groute":
+        if options is not None and options.backend != "serial":
+            raise EngineError(
+                "execution backends require a BSP-style engine; "
+                "groute's asynchronous runtime is not supported"
+            )
         return GrouteEngine(topology, **obs)
     if name == "bsp":
         return BSPEngine(topology, options=options, name="bsp", **obs)

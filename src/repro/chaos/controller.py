@@ -279,6 +279,51 @@ class ChaosController:
             fails = max(fails, attempt_fails)
         return fails
 
+    def failed_transfer_attempts_batch(
+        self, iteration: int, owners: np.ndarray, workers: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`failed_transfer_attempts` over chunk arrays.
+
+        Bit-identical to calling the scalar method once per chunk, in
+        draws and in counters: the seeded generator for a given
+        ``(iteration, owner, worker)`` produces the same stream whether
+        drawn one float at a time or as a batch, so attempts are
+        evaluated once per *distinct* (owner, worker) pair and
+        broadcast back to chunks; counters accumulate per chunk, as
+        before, via the pair multiplicities.
+        """
+        owners = np.asarray(owners, dtype=np.int64)
+        workers = np.asarray(workers, dtype=np.int64)
+        fails = np.zeros(owners.shape, dtype=np.int64)
+        if owners.size == 0:
+            return fails
+        pairs = np.stack([owners, workers], axis=1)
+        unique_pairs, inverse = np.unique(
+            pairs, axis=0, return_inverse=True
+        )
+        inverse = inverse.ravel()
+        for fault in self._scenario.faults:
+            if fault.kind != "flaky_transfers":
+                continue
+            if not self._window_active(fault, iteration):
+                continue
+            rate = float(fault.params["rate"])
+            cap = int(fault.params["max_retries"])
+            pair_fails = np.empty(len(unique_pairs), dtype=np.int64)
+            for row, (owner, worker) in enumerate(unique_pairs.tolist()):
+                draws = np.random.default_rng(
+                    [self._scenario.seed, iteration, owner, worker]
+                ).random(cap)
+                passed = np.flatnonzero(draws >= rate)
+                pair_fails[row] = passed[0] if passed.size else cap
+            chunk_fails = pair_fails[inverse]
+            self._counters["transfer_giveups"] += int(
+                np.count_nonzero(chunk_fails >= cap)
+            )
+            self._counters["transfer_retries"] += int(chunk_fails.sum())
+            np.maximum(fails, chunk_fails, out=fails)
+        return fails
+
     @staticmethod
     def retry_seconds(transfer_seconds: float, fails: int) -> float:
         """Modeled cost of ``fails`` failed attempts of one transfer.
@@ -290,6 +335,20 @@ class ChaosController:
             return 0.0
         backoff = RETRY_BACKOFF_SECONDS * (2.0 ** fails - 1.0)
         return fails * transfer_seconds + backoff
+
+    @staticmethod
+    def retry_seconds_batch(
+        transfer_seconds: np.ndarray, fails: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`retry_seconds` (same IEEE operations)."""
+        fails = np.asarray(fails, dtype=np.float64)
+        backoff = RETRY_BACKOFF_SECONDS * (2.0 ** fails - 1.0)
+        return np.where(
+            fails > 0,
+            fails * np.asarray(transfer_seconds, dtype=np.float64)
+            + backoff,
+            0.0,
+        )
 
     # ------------------------------------------------------------------
     def solver_times_out(self, solver_name: str) -> bool:

@@ -47,8 +47,9 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
 )
+from repro.backend import BACKEND_NAMES
 from repro.partition.partitioners import PARTITIONERS
-from repro.runtime import RunResult
+from repro.runtime import EngineOptions, RunResult
 from repro.runtime.trace import render_timeline, utilization_report
 
 __all__ = ["main", "build_parser", "result_summary"]
@@ -100,7 +101,9 @@ def result_summary(result: RunResult) -> dict:
         # span/metric emission (None for runs recorded before
         # self-measurement existed)
         "obs_overhead_pct": result.obs_overhead_pct(),
-    } | ({"chaos": dict(result.chaos)} if result.chaos else {})
+    } | ({"chaos": dict(result.chaos)} if result.chaos else {}) \
+        | ({"backend": dict(result.backend_stats)}
+           if result.backend_stats else {})
     summary["slo"] = slo_indicators(summary, result.timeseries())
     return summary
 
@@ -299,10 +302,15 @@ def _run_one(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
+    backend = getattr(args, "backend", "serial")
+    options = (
+        EngineOptions(backend=backend) if backend != "serial" else None
+    )
     return run_cell(
         Cell(engine, args.algorithm, args.graph, args.gpus,
              args.partitioner),
         gum_config=_gum_config_from_args(args),
+        options=options,
         tracer=tracer,
         metrics=metrics,
         chaos=_chaos_from_args(args),
@@ -365,6 +373,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         engines = tuple(e for e in ENGINE_NAMES if e != "groute")
         print("note: skipping groute (fault injection requires a "
               "BSP-style engine)", file=sys.stderr)
+    if getattr(args, "backend", "serial") != "serial":
+        # execution backends plug into the BSP superstep loop only
+        engines = tuple(e for e in engines if e != "groute")
+        if "groute" in ENGINE_NAMES and getattr(args, "chaos", None) is None:
+            print("note: skipping groute (execution backends require a "
+                  "BSP-style engine)", file=sys.stderr)
     stream_base = _stream_target(args)
     prom_base = getattr(args, "prom", None)
     for engine in engines:
@@ -811,6 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable decision amortization (plan cache, warm "
                  "starts, incremental OSteal) for exact-mode "
                  "reproduction of paper figures",
+        )
+        p.add_argument(
+            "--backend", default="serial", choices=BACKEND_NAMES,
+            help="execution backend: 'serial' (in-process, default) or "
+                 "'shmem' (one worker process per virtual GPU over "
+                 "shared-memory buffers); never changes results or "
+                 "virtual time (see docs/performance.md)",
         )
         p.add_argument("--json", action="store_true",
                        help="emit a JSON summary")

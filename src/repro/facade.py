@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.algorithms import GASAlgorithm, make_algorithm
+from repro.backend import BACKEND_NAMES
 from repro.baselines import GrouteEngine, GunrockEngine
 from repro.core import GumConfig, GumEngine
 from repro.errors import EngineError
@@ -27,7 +28,7 @@ from repro.hardware.topology import dgx1
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.partition.partitioners import make_partition
-from repro.runtime import BSPEngine, RunResult
+from repro.runtime import BSPEngine, EngineOptions, RunResult
 
 __all__ = ["run"]
 
@@ -43,6 +44,7 @@ def run(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     chaos=None,
+    backend: str = "serial",
     **params,
 ) -> RunResult:
     """Partition, schedule, and execute one algorithm in a single call.
@@ -70,6 +72,11 @@ def run(
     chaos:
         A :class:`~repro.chaos.ChaosController` to inject faults into
         the run (BSP-style engines only; see ``docs/robustness.md``).
+    backend:
+        Execution backend: ``serial`` (in-process, default) or
+        ``shmem`` (one worker process per virtual GPU over
+        shared-memory graph buffers; BSP-style engines only). Never
+        changes results or virtual time — see ``docs/performance.md``.
     params:
         Algorithm init parameters (``source=...`` etc.).
     """
@@ -87,6 +94,18 @@ def run(
                 "groute's asynchronous runtime is not supported"
             )
         obs["chaos"] = chaos
+    if backend not in BACKEND_NAMES:
+        raise EngineError(
+            f"unknown execution backend {backend!r}; known: "
+            + ", ".join(BACKEND_NAMES)
+        )
+    if backend != "serial":
+        if engine == "groute":
+            raise EngineError(
+                "execution backends require a BSP-style engine; "
+                "groute's asynchronous runtime is not supported"
+            )
+        obs["options"] = EngineOptions(backend=backend)
     if engine == "gum":
         runner = GumEngine(topology, config=gum_config, **obs)
     elif engine == "gunrock":

@@ -17,7 +17,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, _as_index_array
 
 __all__ = [
     "from_edges",
@@ -58,8 +58,8 @@ def from_edge_arrays(
         Sort edges by ``(src, dst)`` for a canonical CSR layout. Disable
         only when the caller guarantees sources are already grouped.
     """
-    src = np.asarray(sources, dtype=np.int64).ravel()
-    dst = np.asarray(destinations, dtype=np.int64).ravel()
+    src = _as_index_array(sources, "sources").ravel()
+    dst = _as_index_array(destinations, "destinations").ravel()
     if src.shape != dst.shape:
         raise GraphError("sources and destinations must be parallel arrays")
     if weights is not None:

@@ -29,6 +29,27 @@ from repro.errors import GraphError
 __all__ = ["CSRGraph"]
 
 
+def _as_index_array(array: np.ndarray, label: str) -> np.ndarray:
+    """Normalize a CSR index array to contiguous ``int64``, losslessly.
+
+    Construction paths hand us whatever a loader produced — ``int32``
+    from a matrix-market reader, a strided slice, or (by accident) a
+    float array. Silent truncation of a fractional value would corrupt
+    the topology, and a raw shared-memory mapping of a non-contiguous
+    or non-``int64`` buffer would be garbage, so both are rejected or
+    normalized here, once, at construction.
+    """
+    source = np.asarray(array)
+    out = np.ascontiguousarray(source, dtype=np.int64)
+    if source.dtype != np.int64 and source.size:
+        if not np.array_equal(out, source):
+            raise GraphError(
+                f"{label} cannot be losslessly converted to int64 "
+                f"(source dtype {source.dtype})"
+            )
+    return out
+
+
 class CSRGraph:
     """A directed graph in CSR form with optional edge weights.
 
@@ -58,6 +79,7 @@ class CSRGraph:
         "_directed",
         "_name",
         "_csc_cache",
+        "_csc_order_cache",
         "_in_degrees_cache",
     )
 
@@ -69,8 +91,8 @@ class CSRGraph:
         directed: bool = True,
         name: str = "graph",
     ) -> None:
-        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        indptr = _as_index_array(indptr, "indptr")
+        indices = _as_index_array(indices, "indices")
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphError("indptr and indices must be 1-D arrays")
         if indptr.size == 0:
@@ -91,7 +113,7 @@ class CSRGraph:
             raise GraphError("edge destination out of range")
         if weights is not None:
             weights = np.ascontiguousarray(weights, dtype=np.float64)
-            if weights.shape != indices.shape:
+            if weights.ndim != 1 or weights.shape != indices.shape:
                 raise GraphError("weights must be parallel to indices")
             weights.setflags(write=False)
         indptr.setflags(write=False)
@@ -103,7 +125,32 @@ class CSRGraph:
         self._directed = bool(directed)
         self._name = str(name)
         self._csc_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._csc_order_cache: Optional[np.ndarray] = None
         self._in_degrees_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Pickling (spawn-started worker processes ship graphs by pickle
+    # when they are not shared-memory mapped). Lazy caches are dropped
+    # — each process rebuilds them on demand — and the read-only flags,
+    # which numpy does not preserve across pickling, are restored.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {
+            "indptr": self._indptr,
+            "indices": self._indices,
+            "weights": self._weights,
+            "directed": self._directed,
+            "name": self._name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["indptr"],
+            state["indices"],
+            weights=state["weights"],
+            directed=state["directed"],
+            name=state["name"],
+        )
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -220,12 +267,26 @@ class CSRGraph:
         in_deg = np.bincount(self._indices, minlength=n).astype(np.int64)
         rindptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(in_deg, out=rindptr[1:])
-        order = np.argsort(self._indices, kind="stable")
+        order = self._csc_order()
         sources, __ = self.edge_array()
         rindices = sources[order]
         rindptr.setflags(write=False)
         rindices.setflags(write=False)
         return rindptr, rindices
+
+    def _csc_order(self) -> np.ndarray:
+        """The stable CSR→CSC edge permutation (cached).
+
+        ``reversed()`` permutes weights with exactly this array, so the
+        reversed weights are aligned with the cached CSC view by
+        construction rather than by recomputing (and trusting) a second
+        argsort.
+        """
+        if self._csc_order_cache is None:
+            order = np.argsort(self._indices, kind="stable")
+            order.setflags(write=False)
+            self._csc_order_cache = order
+        return self._csc_order_cache
 
     def reverse_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return cached ``(rindptr, rindices)`` CSC arrays.
@@ -250,8 +311,7 @@ class CSRGraph:
         rindptr, rindices = self.reverse_adjacency()
         rweights = None
         if self._weights is not None:
-            order = np.argsort(self._indices, kind="stable")
-            rweights = self._weights[order]
+            rweights = self._weights[self._csc_order()]
         return CSRGraph(
             rindptr.copy(),
             rindices.copy(),
@@ -269,6 +329,7 @@ class CSRGraph:
         g._directed = self._directed
         g._name = str(name)
         g._csc_cache = self._csc_cache
+        g._csc_order_cache = self._csc_order_cache
         g._in_degrees_cache = self._in_degrees_cache
         return g
 

@@ -87,6 +87,10 @@ class EngineOptions:
         frontier vertex into the ``overhead`` bucket.
     max_iterations:
         Safety bound; exceeding it marks the run unconverged.
+    backend:
+        Execution backend (``serial`` or ``shmem``): which host
+        resources physically run the supersteps. Never affects
+        algorithm outputs or virtual time — see :mod:`repro.backend`.
     """
 
     aggregate_messages: bool = True
@@ -95,6 +99,7 @@ class EngineOptions:
     kernel_per_chunk: bool = True
     id_conversion_ns_per_vertex: float = 2.0
     max_iterations: int = 200_000
+    backend: str = "serial"
 
 
 class BSPEngine:
@@ -141,6 +146,9 @@ class BSPEngine:
         self._machine = machine
         self._timing = TimingModel(topology, machine=machine)
         self._options = options or EngineOptions()
+        from repro.backend import make_backend  # lazy: avoids import cycle
+
+        self._backend = make_backend(self._options.backend)
         self._name = name
         self._tracer = tracer or NULL_TRACER
         self._metrics = metrics or NULL_METRICS
@@ -224,6 +232,12 @@ class BSPEngine:
             chaos=self._chaos,
         )
 
+        # backends need the engine's aggregation switch when deriving
+        # message statistics away from the coordinator
+        context.extras["aggregate_messages"] = (
+            self._options.aggregate_messages
+        )
+
         state = algorithm.init(graph, **params)
         result = RunResult(
             engine=self._name,
@@ -241,47 +255,62 @@ class BSPEngine:
         # iteration is priced, so streamed and silent runs charge
         # identical virtual clocks.
         run_wall_start = time.perf_counter()
+        # the session owns the run's execution resources (worker
+        # processes, shared mappings); the finally guarantees they are
+        # released even when an iteration raises mid-run
+        session = self._backend.open(
+            graph, partition, algorithm, state, context
+        )
         measure_obs = self._tracer.enabled or self._metrics.enabled
-        with self._tracer.span(
-            "run", cat="engine", engine=self._name,
-            algorithm=algorithm.name, graph=graph.name,
-            num_gpus=num_workers,
-        ) as run_span:
-            self._scheduler.begin_run(context)
-            virtual_clock = 0.0
-            prev_group: Optional[int] = None
-            while state.frontier and state.iteration < limit:
-                if self._chaos is not None:
-                    events = self._chaos.advance(state.iteration)
-                    if events:
-                        result.obs_seconds += self._apply_faults(
-                            events, context, virtual_clock
+        try:
+            with self._tracer.span(
+                "run", cat="engine", engine=self._name,
+                algorithm=algorithm.name, graph=graph.name,
+                num_gpus=num_workers,
+            ) as run_span:
+                self._scheduler.begin_run(context)
+                virtual_clock = 0.0
+                prev_group: Optional[int] = None
+                while state.frontier and state.iteration < limit:
+                    if self._chaos is not None:
+                        events = self._chaos.advance(state.iteration)
+                        if events:
+                            result.obs_seconds += self._apply_faults(
+                                events, context, virtual_clock
+                            )
+                    record = self._run_iteration(
+                        graph, partition, algorithm, state, context, session
+                    )
+                    result.iterations.append(record)
+                    result.breakdown.add(record.breakdown)
+                    result.real_decision_seconds += (
+                        record.real_decision_seconds
+                    )
+                    if measure_obs:
+                        obs_start = time.perf_counter()
+                        virtual_clock = emit_iteration(
+                            self._tracer, self._metrics, record,
+                            virtual_clock, prev_group, engine=self._name,
                         )
-                record = self._run_iteration(graph, partition, algorithm,
-                                             state, context)
-                result.iterations.append(record)
-                result.breakdown.add(record.breakdown)
-                result.real_decision_seconds += record.real_decision_seconds
-                if measure_obs:
-                    obs_start = time.perf_counter()
-                    virtual_clock = emit_iteration(
-                        self._tracer, self._metrics, record, virtual_clock,
-                        prev_group, engine=self._name,
-                    )
-                    result.obs_seconds += time.perf_counter() - obs_start
-                else:
-                    virtual_clock = emit_iteration(
-                        self._tracer, self._metrics, record, virtual_clock,
-                        prev_group, engine=self._name,
-                    )
-                if record.osteal_group_size is not None:
-                    prev_group = record.osteal_group_size
-                state.iteration += 1
-            decision_stats = self._scheduler.finish_run(context)
-            if decision_stats:
-                result.decision_stats = dict(decision_stats)
-            run_span.set(iterations=state.iteration,
-                         virtual_total_ms=virtual_clock * 1e3)
+                        result.obs_seconds += (
+                            time.perf_counter() - obs_start
+                        )
+                    else:
+                        virtual_clock = emit_iteration(
+                            self._tracer, self._metrics, record,
+                            virtual_clock, prev_group, engine=self._name,
+                        )
+                    if record.osteal_group_size is not None:
+                        prev_group = record.osteal_group_size
+                    state.iteration += 1
+                decision_stats = self._scheduler.finish_run(context)
+                if decision_stats:
+                    result.decision_stats = dict(decision_stats)
+                run_span.set(iterations=state.iteration,
+                             virtual_total_ms=virtual_clock * 1e3)
+        finally:
+            session.close(state)
+        result.backend_stats = session.stats()
         result.values = state.values
         result.converged = not state.frontier
         if self._chaos is not None:
@@ -348,6 +377,7 @@ class BSPEngine:
         algorithm: GASAlgorithm,
         state,
         context: RunContext,
+        session,
     ) -> IterationRecord:
         frontier: Frontier = state.frontier
         num_workers = context.num_workers
@@ -362,6 +392,11 @@ class BSPEngine:
         workloads = self._effective_workloads(
             graph, partition, algorithm, state, workloads
         )
+
+        # hand the distributed frontier to the execution backend now,
+        # so a parallel backend's workers overlap with the plan/pricing
+        session.begin_iteration(state.iteration, fragment_frontiers,
+                                context)
 
         # --- plan (the stealing arbitrator) ---------------------------
         wall_start = time.perf_counter()
@@ -408,7 +443,7 @@ class BSPEngine:
 
         # --- messages crossing worker boundaries ----------------------
         serialization, message_transfer = self._message_costs(
-            graph, partition, context, frontier, active
+            context, frontier, active, session, state.iteration
         )
 
         sync = context.timing.sync_seconds(len(active)) * self._sync_multiplier(
@@ -432,7 +467,8 @@ class BSPEngine:
         )
 
         # --- execute semantics (independent of the plan) ---------------
-        state.frontier = algorithm.step(graph, state)
+        state.frontier = session.step(state.iteration, algorithm, graph,
+                                      state)
 
         record = IterationRecord(
             iteration=state.iteration,
@@ -529,17 +565,19 @@ class BSPEngine:
         number of times (bounded by the fault's ``max_retries``); every
         failed attempt retransmits the payload and backs off. The chunk
         always completes — chaos charges time, never corrupts state.
+
+        Vectorized over the stolen chunks (one batched draw per
+        distinct owner/worker pair instead of a Python loop per chunk);
+        draws, counters, and charged seconds are bit-identical to the
+        per-chunk formulation — the chaos determinism tests pin this.
         """
         chaos = self._chaos
-        for position, chunk_index in enumerate(stolen_indices.tolist()):
-            fails = chaos.failed_transfer_attempts(
-                iteration, int(owners[chunk_index]),
-                int(workers[chunk_index]),
-            )
-            if fails:
-                comm[chunk_index] += chaos.retry_seconds(
-                    float(migrate_seconds[position]), fails
-                )
+        fails = chaos.failed_transfer_attempts_batch(
+            iteration, owners[stolen_indices], workers[stolen_indices]
+        )
+        comm[stolen_indices] += chaos.retry_seconds_batch(
+            migrate_seconds, fails
+        )
 
     # ------------------------------------------------------------------
     # Hooks for engine models with algorithm-specific behaviour
@@ -604,35 +642,29 @@ class BSPEngine:
     # ------------------------------------------------------------------
     def _message_costs(
         self,
-        graph: CSRGraph,
-        partition: Partition,
         context: RunContext,
         frontier: Frontier,
         active: list,
+        session,
+        iteration: int,
     ) -> tuple[float, float]:
         """Price cross-worker messages: (packing, link transfer).
 
         Packing is the serialization bucket; the transfer itself rides
         the aggregate NVLink bandwidth of the active group and lands in
         the communication bucket. BSP systems may use every link
-        (unlike the Groute model's single ring).
+        (unlike the Groute model's single ring). The message *count*
+        comes from the execution backend — every backend derives the
+        identical number, in-process via the frontier's memoized gather
+        or merged from worker partials.
         """
         if frontier.size == 0:
             return 0.0, 0.0
-        # the gather is memoized on the frontier: the algorithm step
-        # expanding the same frontier reuses it instead of re-gathering
-        sources, destinations, __ = frontier.gather(graph)
-        if sources.size == 0:
+        num_messages = session.message_count(
+            iteration, frontier, self._options.aggregate_messages, context
+        )
+        if num_messages == 0:
             return 0.0, 0.0
-        worker_of = context.fragment_worker[partition.owner]
-        cross = worker_of[sources] != worker_of[destinations]
-        if not np.any(cross):
-            return 0.0, 0.0
-        if self._options.aggregate_messages:
-            # early aggregation: one message per distinct destination
-            num_messages = int(np.unique(destinations[cross]).size)
-        else:
-            num_messages = int(np.count_nonzero(cross))
         packing = context.timing.serialization_seconds(num_messages)
         topology = context.timing.topology
         aggregate_gbps = topology.aggregate_bandwidth(active)

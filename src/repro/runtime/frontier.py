@@ -100,6 +100,20 @@ class Frontier:
         return f"Frontier(size={self.size}, {preview}{suffix})"
 
     # ------------------------------------------------------------------
+    # Pickle support (spawned worker processes receive frontiers):
+    # ship only the vertex array — the memo cache pins whole graphs —
+    # and restore the read-only invariant on load.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> np.ndarray:
+        return np.array(self._vertices)
+
+    def __setstate__(self, state: np.ndarray) -> None:
+        array = np.ascontiguousarray(state, dtype=np.int64)
+        array.setflags(write=False)
+        self._vertices = array
+        self._cache = {}
+
+    # ------------------------------------------------------------------
     # Memoized per-graph derived quantities
     # ------------------------------------------------------------------
     def _memo(self, key: str, graph: CSRGraph, compute):

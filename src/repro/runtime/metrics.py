@@ -125,6 +125,10 @@ class RunResult:
     #: Host wall-clock seconds of the whole ``run()`` call — the
     #: denominator of ``obs_overhead_pct``.
     run_wall_seconds: float = 0.0
+    #: Execution-backend statistics (worker count, task count,
+    #: dispatch/collect host seconds) for parallel backends; ``None``
+    #: for the in-process serial backend.
+    backend_stats: Optional[Dict[str, object]] = None
 
     def obs_overhead_pct(self) -> Optional[float]:
         """Observability overhead as a percentage of run wall time.

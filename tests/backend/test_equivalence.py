@@ -1,0 +1,81 @@
+"""Serial vs shmem: bit-identical outputs and virtual time.
+
+The execution backend is a host-resource decision — *which* processes
+crunch the arrays — and must never leak into results. These tests run
+the same workload under both backends (the shmem side really spawns
+worker processes, so this doubles as the ``spawn`` start-method
+equivalence test) and require the algorithm values, the virtual-time
+totals, and every per-iteration virtual wall clock to match exactly.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend.shared import live_block_names
+from repro.errors import EngineError
+from repro.graph import datasets
+
+
+def run_pair(algorithm, engine="gum", num_gpus=4, **params):
+    graph = datasets.load("TX")
+    serial = repro.run(graph, algorithm, engine=engine,
+                       num_gpus=num_gpus, backend="serial", **params)
+    shmem = repro.run(graph, algorithm, engine=engine,
+                      num_gpus=num_gpus, backend="shmem", **params)
+    return serial, shmem
+
+
+def assert_equivalent(serial, shmem):
+    assert np.array_equal(serial.values, shmem.values)
+    assert serial.total_ms == shmem.total_ms  # bitwise, not approx
+    assert serial.num_iterations == shmem.num_iterations
+    assert serial.breakdown.as_dict() == shmem.breakdown.as_dict()
+    for a, b in zip(serial.iterations, shmem.iterations):
+        assert a.wall_seconds == b.wall_seconds
+        assert np.array_equal(a.busy_seconds, b.busy_seconds)
+        assert a.active_workers == b.active_workers
+    assert live_block_names() == ()
+
+
+@pytest.mark.parametrize("algorithm,params", [
+    ("bfs", {"source": 0}),
+    ("sssp", {"source": 0}),
+    ("wcc", {}),
+])
+def test_parallel_step_algorithms_bit_identical(algorithm, params):
+    serial, shmem = run_pair(algorithm, **params)
+    assert_equivalent(serial, shmem)
+    assert serial.backend_stats is None
+    stats = shmem.backend_stats
+    assert stats["backend"] == "shmem"
+    assert stats["parallel_step"] is True
+    assert stats["workers"] == 4
+    assert stats["tasks"] > 0
+
+
+def test_serial_fallback_algorithm_bit_identical():
+    # float-sum aggregation (PageRank) has no exact merge: the shmem
+    # session must fall back to the coordinator's serial superstep
+    serial, shmem = run_pair("pr", num_gpus=2)
+    assert_equivalent(serial, shmem)
+    assert shmem.backend_stats["parallel_step"] is False
+    assert shmem.backend_stats["tasks"] == 0
+
+
+def test_plain_bsp_engine_bit_identical():
+    serial, shmem = run_pair("bfs", engine="bsp", num_gpus=2, source=0)
+    assert_equivalent(serial, shmem)
+
+
+def test_groute_rejects_non_serial_backend():
+    graph = datasets.load("TX")
+    with pytest.raises(EngineError, match="BSP-style"):
+        repro.run(graph, "wcc", engine="groute", num_gpus=2,
+                  backend="shmem")
+
+
+def test_unknown_backend_rejected():
+    graph = datasets.load("TX")
+    with pytest.raises(EngineError, match="unknown execution backend"):
+        repro.run(graph, "bfs", backend="cuda", source=0)

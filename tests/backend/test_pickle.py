@@ -1,0 +1,156 @@
+"""Spawn-safety: everything a worker process receives must pickle.
+
+The ``spawn`` start method pickles the worker entry point's arguments
+and re-imports modules in a fresh interpreter, so the core runtime
+objects need clean pickle round-trips — no closures, no leaked caches,
+and the read-only invariants restored on load.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, AlgorithmState, make_algorithm
+from repro.backend.shared import SharedArraySpec
+from repro.backend.worker import WorkerSpec, WorkerTask
+from repro.graph import datasets
+from repro.graph.builders import from_edges
+from repro.partition.partitioners import make_partition
+from repro.runtime.frontier import Frontier
+from repro.runtime.scheduler import IterationPlan, WorkChunk
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def weighted_graph():
+    return from_edges(
+        [(0, 1, 2.0), (1, 2, 0.5), (2, 0, 1.0), (0, 3, 4.0)],
+        num_vertices=4, name="pickle-me",
+    )
+
+
+# ----------------------------------------------------------------------
+# Frontier
+# ----------------------------------------------------------------------
+def test_frontier_roundtrip_preserves_vertices_and_readonly():
+    frontier = Frontier(np.array([5, 1, 3, 1]))
+    clone = roundtrip(frontier)
+    assert clone == frontier
+    assert clone.vertices.dtype == np.int64
+    assert not clone.vertices.flags.writeable
+
+
+def test_frontier_roundtrip_drops_memo_cache():
+    graph = weighted_graph()
+    frontier = Frontier(np.array([0, 1]))
+    frontier.work(graph)
+    frontier.gather(graph)
+    assert frontier._cache
+    clone = roundtrip(frontier)
+    assert clone._cache == {}
+    # memoization still functions after the trip
+    assert clone.work(graph) == frontier.work(graph)
+    assert "work" in clone._cache
+
+
+def test_empty_frontier_roundtrip():
+    clone = roundtrip(Frontier.empty())
+    assert clone.size == 0
+    assert clone.vertices.dtype == np.int64
+
+
+# ----------------------------------------------------------------------
+# Graph and partition
+# ----------------------------------------------------------------------
+def test_csr_graph_roundtrip():
+    graph = weighted_graph()
+    clone = roundtrip(graph)
+    assert np.array_equal(clone.indptr, graph.indptr)
+    assert np.array_equal(clone.indices, graph.indices)
+    assert np.array_equal(clone.weights, graph.weights)
+    assert clone.directed == graph.directed
+    assert clone.name == graph.name
+    # construction invariants survive the trip
+    assert not clone.indices.flags.writeable
+    assert clone.indptr.dtype == np.int64
+
+
+def test_partition_roundtrip():
+    graph = datasets.load("TX")
+    partition = make_partition("random", graph, 4, seed=0)
+    clone = roundtrip(partition)
+    assert np.array_equal(clone.owner, partition.owner)
+    assert clone.num_fragments == partition.num_fragments
+    assert np.array_equal(clone.graph.indptr, graph.indptr)
+
+
+# ----------------------------------------------------------------------
+# Plans and state
+# ----------------------------------------------------------------------
+def test_iteration_plan_roundtrip():
+    chunk = WorkChunk(
+        owner=1, worker=2,
+        vertices=np.array([3, 4], dtype=np.int64),
+        edges=7, hub_edges=2,
+    )
+    plan = IterationPlan(
+        chunks=[chunk], active_workers=[1, 2],
+        decision_seconds=1e-6, fsteal_applied=True,
+        osteal_group_size=2, stolen_edges=7,
+    )
+    clone = roundtrip(plan)
+    assert clone.active_workers == [1, 2]
+    assert clone.fsteal_applied and clone.osteal_group_size == 2
+    (chunk_clone,) = clone.chunks
+    assert (chunk_clone.owner, chunk_clone.worker) == (1, 2)
+    assert np.array_equal(chunk_clone.vertices, chunk.vertices)
+    assert (chunk_clone.edges, chunk_clone.hub_edges) == (7, 2)
+
+
+def test_algorithm_state_roundtrip():
+    graph = weighted_graph()
+    state = make_algorithm("bfs").init(graph, source=0)
+    state.aux["scratch"] = np.full(4, np.inf)
+    clone = roundtrip(state)
+    assert np.array_equal(clone.values, state.values)
+    assert clone.frontier == state.frontier
+    assert clone.iteration == state.iteration
+    assert np.array_equal(clone.aux["scratch"], state.aux["scratch"])
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_every_algorithm_instance_pickles(name):
+    clone = roundtrip(make_algorithm(name))
+    assert clone.name == name
+    assert clone.supports_fragment_step == \
+        ALGORITHMS[name].supports_fragment_step
+
+
+# ----------------------------------------------------------------------
+# Worker protocol objects
+# ----------------------------------------------------------------------
+def test_worker_spec_and_task_roundtrip():
+    spec = WorkerSpec(
+        indptr=SharedArraySpec("psm_a", "<i8", (5,)),
+        indices=SharedArraySpec("psm_b", "<i8", (4,)),
+        weights=None,
+        owner=SharedArraySpec("psm_c", "<i8", (4,)),
+        frontier=SharedArraySpec("psm_d", "<i8", (4,)),
+        values=SharedArraySpec("psm_e", "<f8", (4,)),
+        partials=SharedArraySpec("psm_f", "<f8", (4, 4)),
+        num_fragments=4,
+        directed=True,
+        graph_name="g",
+        algorithm=make_algorithm("bfs"),
+    )
+    clone = roundtrip(spec)
+    assert clone.indptr == spec.indptr
+    assert clone.weights is None
+    assert clone.algorithm.name == "bfs"
+
+    task = WorkerTask(iteration=3, fragment=1, offset=10, count=5,
+                      aggregate=True, relax=True)
+    assert roundtrip(task) == task

@@ -166,6 +166,54 @@ def test_flaky_outside_window_is_free():
     assert controller.stats()["transfer_retries"] == 0
 
 
+def test_flaky_batch_matches_scalar_bitwise():
+    """The vectorized draw is the scalar draw: fails, costs, counters."""
+    specs = (
+        FaultSpec("flaky_transfers", 0,
+                  {"duration": 10, "rate": 0.6, "max_retries": 4}),
+        FaultSpec("flaky_transfers", 0,
+                  {"duration": 10, "rate": 0.9, "max_retries": 2}),
+    )
+    rng = np.random.default_rng(3)
+    owners = rng.integers(0, 4, size=200)
+    workers = rng.integers(0, 4, size=200)
+    seconds = rng.random(200) * 1e-3
+
+    scalar = bound(*specs, seed=7)
+    scalar_fails = np.array([
+        scalar.failed_transfer_attempts(2, int(o), int(w))
+        for o, w in zip(owners, workers)
+    ])
+    scalar_cost = np.array([
+        scalar.retry_seconds(float(t), int(f))
+        for t, f in zip(seconds, scalar_fails)
+    ])
+
+    batch = bound(*specs, seed=7)
+    batch_fails = batch.failed_transfer_attempts_batch(2, owners, workers)
+    batch_cost = batch.retry_seconds_batch(seconds, batch_fails)
+
+    assert np.array_equal(scalar_fails, batch_fails)
+    assert np.array_equal(scalar_cost, batch_cost)  # bitwise
+    assert scalar.stats() == batch.stats()
+    assert batch.stats()["transfer_retries"] > 0
+
+
+def test_flaky_batch_empty_and_outside_window():
+    controller = bound(
+        FaultSpec("flaky_transfers", 5, {"rate": 0.9, "max_retries": 3})
+    )
+    empty = controller.failed_transfer_attempts_batch(
+        0, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    )
+    assert empty.size == 0
+    outside = controller.failed_transfer_attempts_batch(
+        0, np.array([0, 1]), np.array([1, 2])
+    )
+    assert np.array_equal(outside, [0, 0])
+    assert controller.stats()["transfer_retries"] == 0
+
+
 def test_retry_seconds_formula():
     assert ChaosController.retry_seconds(1e-3, 0) == 0.0
     # two failed attempts: two retransmits plus 1x + 2x backoff units
