@@ -666,6 +666,77 @@ def _obs_slo_check():
     return lambda: evaluate(policy, summary, timeseries=timeseries)
 
 
+def _obs_ledger_features():
+    from repro.graph.features import FrontierFeatures
+
+    return [
+        FrontierFeatures(
+            avg_in_degree=4.0 + f, avg_out_degree=5.0 + f,
+            in_degree_range=32.0, out_degree_range=48.0,
+            gini=0.42, entropy=0.91, size=1024,
+            total_edges=4096 + 64 * f,
+        )
+        for f in range(4)
+    ]
+
+
+def _obs_populated_ledger(decisions: int = 200):
+    from repro.obs.ledger import Ledger
+
+    features = _obs_ledger_features()
+    ledger = Ledger()
+    for i in range(decisions):
+        ledger.begin(i, [4096 + 64 * f for f in range(4)])
+        for fragment, feats in enumerate(features):
+            predicted = 1.0e-6 * (1.0 + 0.01 * fragment)
+            ledger.record_sample(fragment, fragment, feats, predicted,
+                                 predicted * (1.0 + 0.001 * (i % 9)))
+        ledger.commit(group_size=4, active_workers=[0, 1, 2, 3],
+                      fsteal_applied=False, stolen_edges=0,
+                      migrated_vertices=0)
+        ledger.backfill(i, wall_seconds=1.3e-4,
+                        critical_busy_seconds=1.2e-4,
+                        compute_seconds=1.0e-4, num_active=4)
+    return ledger
+
+
+@bench_case("obs.ledger_overhead.record",
+            unit="seconds per recorded decision",
+            note="begin + 4 audit samples + commit + backfill")
+def _obs_ledger_record():
+    from repro.obs.ledger import Ledger
+
+    features = _obs_ledger_features()
+    ledger = Ledger()
+    state = {"i": 0}
+
+    def record():
+        i = state["i"]
+        state["i"] = i + 1
+        ledger.begin(i, [4096, 4160, 4224, 4288])
+        for fragment, feats in enumerate(features):
+            ledger.record_sample(fragment, fragment, feats, 1.0e-6,
+                                 1.05e-6)
+        ledger.commit(group_size=4, active_workers=[0, 1, 2, 3],
+                      fsteal_applied=False, stolen_edges=0,
+                      migrated_vertices=0)
+        ledger.backfill(i, wall_seconds=1.3e-4,
+                        critical_busy_seconds=1.2e-4,
+                        compute_seconds=1.0e-4, num_active=4)
+        return ledger.entries[-1]
+
+    return record
+
+
+@bench_case("obs.ledger_overhead.analytics",
+            unit="seconds per analytics derivation",
+            bench_threshold=1.0,
+            note="RMSRE series + drift + attribution over 200 decisions")
+def _obs_ledger_analytics():
+    ledger = _obs_populated_ledger()
+    return lambda: ledger.analytics()
+
+
 # ----------------------------------------------------------------------
 # Execution-backend cases: one full min-propagation superstep over a
 # generated big graph, identical work under each backend. The shmem

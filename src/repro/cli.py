@@ -14,6 +14,7 @@ Examples::
     python -m repro runs list
     python -m repro runs analyze latest --scale-gpu 0=0.5
     python -m repro runs diff benchmarks/reference/tx-bfs-4gpu latest
+    python -m repro explain latest --iteration 3
     python -m repro run --graph TX --algorithm bfs --stream live.jsonl
     python -m repro top --stream live.jsonl
     python -m repro top benchmarks/reference/tx-bfs-4gpu --no-ansi
@@ -104,6 +105,11 @@ def result_summary(result: RunResult) -> dict:
     } | ({"chaos": dict(result.chaos)} if result.chaos else {}) \
         | ({"backend": dict(result.backend_stats)}
            if result.backend_stats else {})
+    ledger = getattr(result, "ledger", None)
+    if ledger is not None:
+        # prediction-audit rollup (entry/sample counts, final RMSRE,
+        # drift, cache mix) — the SLO indicators below read it
+        summary["ledger"] = ledger.summary()
     summary["slo"] = slo_indicators(summary, result.timeseries())
     return summary
 
@@ -477,6 +483,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 f"{int(cache.get('warm_accepts', 0))} warm accepts, "
                 f"{int(cache.get('osteal_z_reused', 0))} z reused"
             )
+        led = summary.get("ledger")
+        if led:
+            rmsre = led.get("final_rmsre")
+            rmsre_text = f"{rmsre:.4f}" if rmsre is not None else "-"
+            print(
+                "  decision ledger   : "
+                f"{int(led.get('entries', 0))} decisions, "
+                f"{int(led.get('samples', 0))} audit samples, "
+                f"RMSRE {rmsre_text}"
+                + (f"  (repro explain {run_id})" if run_id else "")
+            )
         util = ", ".join(
             f"{u:.0%}" for u in summary["per_gpu_utilization"]
         )
@@ -684,6 +701,31 @@ def _cmd_runs_gc(args: argparse.Namespace) -> int:
     for run_id in removed:
         print(f"{verb} {run_id}")
     print(f"{verb} {len(removed)} run(s); keeping newest {args.keep}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Explain a recorded run's decisions from its archived ledger."""
+    from repro.obs.ledger import Ledger, LedgerError, explain_lines
+
+    payload = _registry_from_args(args).load_ledger(args.ref)
+    ledger = Ledger.from_dict(payload)
+    if args.json:
+        if args.iteration is not None:
+            matches = [entry for entry in ledger.entries
+                       if entry["iteration"] == args.iteration]
+            if not matches:
+                raise LedgerError(
+                    f"no ledger entry for iteration {args.iteration} "
+                    f"(recorded: "
+                    f"{[e['iteration'] for e in ledger.entries]})"
+                )
+            print(json.dumps(matches[0], indent=2, sort_keys=True))
+        else:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for line in explain_lines(ledger, iteration=args.iteration):
+        print(line)
     return 0
 
 
@@ -1069,6 +1111,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report what would be deleted, delete nothing")
     add_runs_dir_arg(p_gc)
     p_gc.set_defaults(func=_cmd_runs_gc)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain a recorded run's stealing decisions from its "
+             "archived ledger: per-decision audit, prediction error, "
+             "model drift",
+    )
+    p_explain.add_argument(
+        "ref", nargs="?", default="latest",
+        help="run reference (default: latest; also accepts a run "
+             "directory path such as benchmarks/reference/tx-bfs-4gpu)",
+    )
+    p_explain.add_argument(
+        "--iteration", type=int, default=None, metavar="N",
+        help="drill into one iteration's decision: features, "
+             "candidates, chosen plan, per-fragment audit samples",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true",
+        help="emit the raw repro-ledger/1 payload (or, with "
+             "--iteration, that entry) instead of the report",
+    )
+    add_runs_dir_arg(p_explain)
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_top = sub.add_parser(
         "top",

@@ -51,6 +51,7 @@ from repro.core.osteal import plan_osteal
 from repro.core.reduction_tree import ReductionTree
 from repro.errors import EngineError
 from repro.hardware.microbench import measure_comm_cost_matrix
+from repro.obs.ledger import Ledger
 from repro.runtime.frontier import Frontier
 from repro.runtime.metrics import IterationRecord
 from repro.runtime.scheduler import (
@@ -108,6 +109,13 @@ class GumConfig:
         cache but only ever reuses bit-identical instances.
     plan_cache_size:
         LRU bound on cached plans.
+    ledger:
+        Record the per-decision explainability ledger (default on):
+        one ``repro-ledger/1`` entry per arbitrator decision with the
+        quantized inputs, the chosen plan, cache status, and the
+        predicted-vs-measured cost audit. Entries hold virtual-clock
+        and model quantities only, so recording never perturbs
+        simulated time; ``repro explain`` renders the result.
     overhead_mode:
         ``"modeled"`` (deterministic cost estimate — default, keeps
         runs reproducible), ``"measured"`` (charge the real wall time
@@ -132,6 +140,7 @@ class GumConfig:
     amortize: bool = True
     amortize_tolerance: float = 0.05
     plan_cache_size: int = 64
+    ledger: bool = True
     overhead_mode: str = "modeled"
     bandwidth_seed: int = 0
 
@@ -190,6 +199,9 @@ class _RunState:
     osteal_invalidations: int = 0
     osteal_z_reused: int = 0
     osteal_z_evaluated: int = 0
+    # --- decision ledger ----------------------------------------------
+    ledger: Optional[Ledger] = None
+    ledger_instruments: Optional[tuple] = None
 
 
 class _EvictedTree:
@@ -237,6 +249,32 @@ class _EvictedTree:
         return out
 
 
+class _PredictionMemo:
+    """One decision's view of the cost model, predictions shared.
+
+    The prediction audit, OSteal's fingerprint coefficients, and the
+    FSteal cost matrix all ask for ``g`` of the *same* per-fragment
+    feature objects within a single ``plan`` call; this wrapper makes
+    the (bit-identical) single-row prediction once per object. Scoped
+    to one decision, so a refit model can never serve stale values.
+    """
+
+    def __init__(self, model: CostModel) -> None:
+        self._model = model
+        self._memo: Dict[int, tuple] = {}
+
+    def edge_cost_seconds(self, features) -> float:
+        hit = self._memo.get(id(features))
+        if hit is not None and hit[0] is features:
+            return hit[1]
+        value = self._model.edge_cost_seconds(features)
+        self._memo[id(features)] = (features, value)
+        return value
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+
 class GumScheduler(Scheduler):
     """The GUM coordinator policy (OSteal before FSteal, Section V)."""
 
@@ -252,6 +290,12 @@ class GumScheduler(Scheduler):
     def config(self) -> GumConfig:
         """The arbitrator configuration."""
         return self._config
+
+    @property
+    def ledger(self) -> Optional[Ledger]:
+        """Decision ledger of the current (or most recent) run."""
+        state = self._state
+        return state.ledger if state is not None else None
 
     # ------------------------------------------------------------------
     def begin_run(self, context: RunContext) -> None:
@@ -293,6 +337,21 @@ class GumScheduler(Scheduler):
                 if self._config.amortize
                 else None
             ),
+            ledger=(
+                Ledger(
+                    model=(
+                        self._config.cost_model
+                        if isinstance(self._config.cost_model, str)
+                        else type(self._cost_model).__name__
+                    ),
+                    amortize=self._config.amortize,
+                    fingerprint_tolerance=(
+                        self._config.amortize_tolerance
+                    ),
+                )
+                if self._config.ledger
+                else None
+            ),
         )
         # initial p guess: one sync with everyone, spread per worker
         self._state.p_estimate = context.timing.sync_seconds(
@@ -325,8 +384,18 @@ class GumScheduler(Scheduler):
         total_frontier = int(sum(f.size for f in features))
         modeled_overhead += 2.5e-8 * total_frontier
 
-        if metrics.enabled:
-            self._observe_cost_model(context, features, workloads)
+        cost_model = _PredictionMemo(self._cost_model)
+        ledger = state.ledger
+        if ledger is not None:
+            ledger.begin(
+                iteration,
+                workloads,
+                fingerprint=self._ledger_fingerprint(features, workloads),
+            )
+        if metrics.enabled or ledger is not None:
+            self._observe_cost_model(
+                context, features, workloads, cost_model
+            )
 
         fsteal_solution = None
 
@@ -341,11 +410,26 @@ class GumScheduler(Scheduler):
             ) as osteal_span:
                 solve_started = time.perf_counter()
                 decision = self._plan_osteal(
-                    features, workloads, context, tracer
+                    features, workloads, context, tracer, cost_model
                 )
                 osteal_span.set(
                     group_size=decision.group_size,
                     prev_group_size=state.group_size,
+                    estimated_cost=decision.estimated_cost,
+                    estimated_kernel=decision.estimated_kernel,
+                    p_estimate=state.p_estimate,
+                )
+            if ledger is not None:
+                candidates = num_workers
+                if (context.chaos is not None
+                        and context.chaos.dead_workers):
+                    candidates = len(context.chaos.alive_workers())
+                ledger.record_osteal(
+                    group_size=decision.group_size,
+                    prev_group_size=state.group_size,
+                    candidates=candidates,
+                    evaluated_sizes=decision.evaluated_sizes,
+                    reused_sizes=decision.reused_sizes,
                     estimated_cost=decision.estimated_cost,
                     estimated_kernel=decision.estimated_kernel,
                     p_estimate=state.p_estimate,
@@ -391,6 +475,7 @@ class GumScheduler(Scheduler):
             workloads, context, state
         ):
             costs_used = None
+            static = gain = None
             if fsteal_solution is None:
                 with tracer.span(
                     "gum.fsteal.milp", track="coordinator", cat="fsteal",
@@ -402,7 +487,7 @@ class GumScheduler(Scheduler):
                     costs_used = build_cost_matrix(
                         state.comm_cost,
                         features,
-                        self._cost_model,
+                        cost_model,
                         context.fragment_home,
                         allowed_workers=state.active,
                     )
@@ -421,6 +506,7 @@ class GumScheduler(Scheduler):
                         "fsteal.solve_seconds",
                         "host wall time of the FSteal MILP",
                     ).observe(time.perf_counter() - solve_started)
+            solved = fsteal_solution
             cache_hit = (
                 fsteal_solution is not None
                 and fsteal_solution.solver == "plan-cache"
@@ -451,6 +537,17 @@ class GumScheduler(Scheduler):
                     if metrics.enabled:
                         metrics.counter("fsteal.rejected_by_gate").inc()
                     fsteal_solution = None
+            if ledger is not None and solved is not None:
+                ledger.record_fsteal(
+                    solver=solved.solver,
+                    cache_status=self._cache_status(solved),
+                    objective=solved.objective,
+                    warm_started=solved.warm_started,
+                    static_makespan=static,
+                    gain=gain,
+                    modeled_overhead=fsteal_overhead,
+                    rejected_by_gate=fsteal_solution is None,
+                )
             if fsteal_solution is not None:
                 fsteal_applied = True
         elif not self._config.fsteal:
@@ -487,6 +584,19 @@ class GumScheduler(Scheduler):
 
         if metrics.enabled and self._config.amortize:
             self._publish_decision_metrics(metrics, state)
+
+        if ledger is not None:
+            # committed after the host-clock measurement above so
+            # measured-overhead runs stay unperturbed by recording
+            ledger.commit(
+                group_size=state.group_size,
+                active_workers=state.active,
+                fsteal_applied=fsteal_applied,
+                stolen_edges=stolen_edges,
+                migrated_vertices=migrated,
+            )
+            if metrics.enabled:
+                self._publish_ledger_metrics(metrics, ledger, iteration)
 
         return IterationPlan(
             chunks=chunks,
@@ -539,9 +649,12 @@ class GumScheduler(Scheduler):
         workloads: np.ndarray,
         context: RunContext,
         tracer,
+        cost_model: Optional[_PredictionMemo] = None,
     ):
         """Run Algorithm 2 — amortized (bracket + z-cache) or exact."""
         state = self._state
+        if cost_model is None:
+            cost_model = _PredictionMemo(self._cost_model)
         # only survivors can appear in a group once workers have been
         # evicted; on healthy runs the enumeration stays 1..n untouched
         sizes = None
@@ -554,7 +667,7 @@ class GumScheduler(Scheduler):
                 features,
                 workloads,
                 context.fragment_home,
-                self._cost_model,
+                cost_model,
                 state.solver,
                 state.p_estimate,
                 candidate_sizes=sizes,
@@ -566,7 +679,7 @@ class GumScheduler(Scheduler):
         tol = self._config.amortize_tolerance
         g_values = np.array([
             0.0 if f.total_edges == 0
-            else self._cost_model.edge_cost_seconds(f)
+            else cost_model.edge_cost_seconds(f)
             for f in features
         ])
         fp = (
@@ -584,7 +697,7 @@ class GumScheduler(Scheduler):
             features,
             workloads,
             context.fragment_home,
-            self._cost_model,
+            cost_model,
             state.solver,
             state.p_estimate,
             candidate_sizes=sizes,
@@ -620,6 +733,83 @@ class GumScheduler(Scheduler):
             if delta > 0:
                 counter.inc(delta)
 
+    # --- decision ledger ----------------------------------------------
+    @staticmethod
+    def _ledger_fingerprint(
+        features: Sequence, workloads: np.ndarray
+    ) -> Optional[list]:
+        """Raw snapshot of this decision's inputs, for fingerprinting.
+
+        The frontier feature vectors plus workloads, handed to the
+        ledger as a list of parts — it concatenates and log-buckets
+        them lazily with the same quantization the plan cache keys on,
+        so two decisions with the same resolved fingerprint saw the
+        same problem up to the amortization tolerance. (The feature
+        vectors are the frontiers' cached copies and never mutate; the
+        workload vector is copied here because the engine reuses it.)
+        """
+        if not features:
+            return None
+        parts = [f.vector() for f in features]
+        parts.append(np.array(workloads, dtype=np.float64))
+        return parts
+
+    @staticmethod
+    def _cache_status(solution: FStealSolution) -> str:
+        """Ledger taxonomy of one FSteal solve: live/warm/cached."""
+        if solution.solver == "plan-cache":
+            return "cached"
+        if solution.warm_started:
+            return "warm"
+        return "live"
+
+    def _publish_ledger_metrics(
+        self, metrics, ledger: Ledger, iteration: int
+    ) -> None:
+        """Mirror ledger accuracy state into the live registry."""
+        state = self._state
+        instruments = state.ledger_instruments
+        if instruments is None:
+            # resolve the registry handles once per run — publishing
+            # runs every iteration and name lookups are not free
+            instruments = state.ledger_instruments = (
+                metrics.counter(
+                    "ledger.samples",
+                    "prediction-audit samples recorded by the "
+                    "decision ledger",
+                ),
+                metrics.counter(
+                    "ledger.skipped_samples",
+                    "audit samples dropped for non-positive "
+                    "measured cost",
+                ),
+                metrics.gauge(
+                    "ledger.entries",
+                    "decisions recorded in the ledger",
+                ),
+                metrics.gauge(
+                    "ledger.drift_z",
+                    "EWMA drift z-score of the cost model's "
+                    "prediction error",
+                ),
+                metrics.timeseries(
+                    "ledger.rmsre_series",
+                    "online RMSRE after each recorded decision",
+                ),
+            )
+        samples, skipped, entries, drift, rmsre_series = instruments
+        delta = float(ledger.samples) - samples.value()
+        if delta > 0:
+            samples.inc(delta)
+        delta = float(ledger.skipped_samples) - skipped.value()
+        if delta > 0:
+            skipped.inc(delta)
+        entries.set(ledger.num_entries)
+        drift.set(ledger.last_drift_z())
+        rmsre = ledger.last_rmsre_online()
+        if rmsre is not None:
+            rmsre_series.append(rmsre, index=iteration)
+
     def finish_run(self, context: RunContext) -> Optional[Dict[str, float]]:
         """Decision-amortization summary, surfaced on the run result."""
         del context
@@ -638,6 +828,14 @@ class GumScheduler(Scheduler):
         else:
             stats.update({"hits": 0, "misses": 0, "invalidations": 0,
                           "evictions": 0, "entries": 0})
+        if state.ledger is not None:
+            state.ledger.seal(
+                (
+                    state.online_rmsre.value
+                    if state.online_rmsre.count else None
+                ),
+                skipped=state.online_rmsre.skipped,
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -646,29 +844,47 @@ class GumScheduler(Scheduler):
         context: RunContext,
         features: Sequence,
         workloads: np.ndarray,
+        cost_model: Optional[_PredictionMemo] = None,
     ) -> None:
         """Score the learned ``g`` against ground truth, online.
 
         One sample per fragment with active edges, exactly the
         granularity the FSteal coefficients use — the running RMSRE is
         the deployment-time counterpart of Table V's training loss.
-        Only runs when a metrics registry is attached.
+        Runs when a metrics registry or the decision ledger is
+        attached; the ledger records every sample in feed order so the
+        final RMSRE reconstructs bit-identically from its entries.
         """
         state = self._state
         metrics = context.metrics
+        ledger = state.ledger
         device = context.timing.device_model
+        if cost_model is None:
+            cost_model = _PredictionMemo(self._cost_model)
         for fragment, feats in enumerate(features):
             if workloads[fragment] == 0 or feats.total_edges == 0:
                 continue
-            predicted = self._cost_model.edge_cost_seconds(feats)
+            predicted = cost_model.edge_cost_seconds(feats)
             actual = device.true_edge_cost(feats)
             state.online_rmsre.update(predicted, actual)
-        if state.online_rmsre.count:
+            if ledger is not None:
+                ledger.record_sample(
+                    fragment,
+                    int(context.fragment_worker[fragment]),
+                    feats,
+                    predicted,
+                    actual,
+                )
+        if metrics.enabled and state.online_rmsre.count:
             metrics.gauge(
                 "costmodel.rmsre_online",
                 "running RMSRE of the learned g vs ground truth",
             ).set(state.online_rmsre.value)
             metrics.gauge("costmodel.samples").set(state.online_rmsre.count)
+            metrics.gauge(
+                "costmodel.samples_skipped",
+                "RMSRE updates dropped for non-positive actual cost",
+            ).set(state.online_rmsre.skipped)
 
     # ------------------------------------------------------------------
     def observe(self, record: IterationRecord, context: RunContext) -> None:
@@ -681,6 +897,17 @@ class GumScheduler(Scheduler):
         if record.num_active > 0 and record.breakdown.sync > 0:
             observed_p = record.breakdown.sync / record.num_active
             state.p_estimate = 0.5 * state.p_estimate + 0.5 * observed_p
+        if state.ledger is not None:
+            busy = np.asarray(record.busy_seconds, dtype=np.float64)
+            state.ledger.backfill(
+                record.iteration,
+                wall_seconds=record.wall_seconds,
+                critical_busy_seconds=(
+                    float(busy.max()) if busy.size else 0.0
+                ),
+                compute_seconds=record.breakdown.compute,
+                num_active=record.num_active,
+            )
 
     # ------------------------------------------------------------------
     def on_fault(self, event: FaultEvent, context: RunContext) -> None:
@@ -697,6 +924,17 @@ class GumScheduler(Scheduler):
         state = self._state
         if state is None or context.chaos is None:
             return
+        if state.ledger is not None:
+            worker = event.spec.params.get("worker")
+            state.ledger.record_fault(
+                iteration=event.iteration,
+                kind=event.kind,
+                worker=None if worker is None else int(worker),
+                heir=(
+                    int(event.detail["heir"])
+                    if event.kind == "kill_worker" else None
+                ),
+            )
         if event.kind == "kill_worker":
             dead = int(event.spec.params["worker"])
             heir = int(event.detail["heir"])

@@ -28,7 +28,7 @@ import abc
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,15 +81,23 @@ class OnlineRMSRE:
     a run (Exp-7's accuracy/policy-quality link, live).
     """
 
-    __slots__ = ("count", "_sum_sq")
+    __slots__ = ("count", "skipped", "_sum_sq")
 
     def __init__(self) -> None:
         self.count = 0
+        self.skipped = 0
         self._sum_sq = 0.0
 
     def update(self, predicted: float, actual: float) -> None:
-        """Add one sample; silently skips non-positive actuals."""
+        """Add one sample; non-positive actuals are counted as skipped.
+
+        A relative error against a zero (or negative) ground truth is
+        undefined, so such samples cannot enter the statistic — but
+        they are not silently lost: ``skipped`` counts them for the
+        run summary and the decision ledger.
+        """
         if actual <= 0:
+            self.skipped += 1
             return
         self.count += 1
         self._sum_sq += ((predicted - actual) / actual) ** 2
@@ -102,7 +110,10 @@ class OnlineRMSRE:
         return float(np.sqrt(self._sum_sq / self.count))
 
     def __repr__(self) -> str:
-        return f"OnlineRMSRE(value={self.value:.4f}, n={self.count})"
+        return (
+            f"OnlineRMSRE(value={self.value:.4f}, n={self.count}, "
+            f"skipped={self.skipped})"
+        )
 
 
 @dataclass(frozen=True)
@@ -134,17 +145,59 @@ class _Standardizer:
         return (matrix - self.mean) / self.std
 
 
+#: (num_features, degree) -> ((parent column, feature), ...) recurrences.
+_EXPAND_PLANS: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+
+
+def _expand_plan(d: int, degree: int) -> Tuple[Tuple[int, int], ...]:
+    """Column recurrences of the polynomial basis, in emission order.
+
+    Every monomial of degree ``k`` extends a degree ``k-1`` prefix by
+    its last feature, so column ``j`` is ``column[parent] * feature``
+    — the same left-to-right multiplication chain the naive
+    ``combinations_with_replacement`` loop performs, term for term.
+    """
+    plan = _EXPAND_PLANS.get((d, degree))
+    if plan is None:
+        index: Dict[Tuple[int, ...], int] = {(): 0}
+        steps = []
+        for deg in range(1, degree + 1):
+            for combo in itertools.combinations_with_replacement(
+                range(d), deg
+            ):
+                index[combo] = len(steps) + 1
+                steps.append((index[combo[:-1]], combo[-1]))
+        plan = _EXPAND_PLANS[(d, degree)] = tuple(steps)
+    return plan
+
+
 def _polynomial_expand(matrix: np.ndarray, degree: int) -> np.ndarray:
-    """Full polynomial basis (with cross terms) up to ``degree``."""
+    """Full polynomial basis (with cross terms) up to ``degree``.
+
+    Each column multiplies its degree ``k-1`` parent column by one
+    feature — the identical IEEE-754 operation sequence (``1*a``,
+    ``(1*a)*b``, ...) the combination-by-combination rebuild performs,
+    so results are bit-identical while each product is computed once.
+    Single rows (the scheduler's per-frontier predictions) run the
+    recurrence on scalars instead of 1-element arrays.
+    """
     n, d = matrix.shape
-    columns = [np.ones(n)]
-    for deg in range(1, degree + 1):
-        for combo in itertools.combinations_with_replacement(range(d), deg):
-            col = np.ones(n)
-            for feature in combo:
-                col = col * matrix[:, feature]
-            columns.append(col)
-    return np.stack(columns, axis=1)
+    plan = _expand_plan(d, degree)
+    out = np.empty((n, len(plan) + 1))
+    if n == 1:
+        row = matrix[0]
+        values = [1.0]
+        append = values.append
+        for parent, feature in plan:
+            append(values[parent] * row[feature])
+        out[0] = values
+        return out
+    out[:, 0] = 1.0
+    for column, (parent, feature) in enumerate(plan, start=1):
+        np.multiply(
+            out[:, parent], matrix[:, feature], out=out[:, column]
+        )
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,7 @@ from repro.core.milp import FStealProblem
 from repro.errors import SolverError
 
 __all__ = [
+    "bucketize",
     "quantize",
     "plan_fingerprint",
     "repair_assignment",
@@ -67,10 +68,28 @@ def quantize(values: np.ndarray, tolerance: float) -> bytes:
     their own sentinels — a worker leaving the group always changes
     the fingerprint. ``tolerance <= 0`` degenerates to the exact
     bit pattern (no tolerance-based reuse).
+
+    Besides plan-cache keys, the decision ledger
+    (:mod:`repro.obs.ledger`) reuses this fingerprint as each entry's
+    quantized feature-vector identity, so "same cached decision"
+    and "same ledger fingerprint" mean the same thing.
     """
     values = np.ascontiguousarray(values, dtype=np.float64).ravel()
     if tolerance <= 0.0:
         return values.tobytes()
+    return bucketize(values, tolerance).tobytes()
+
+
+def bucketize(values: np.ndarray, tolerance: float) -> np.ndarray:
+    """The bucket indices behind :func:`quantize`, shape-preserving.
+
+    The elementwise mapping (sentinels for zero/``inf``, log-bucket
+    otherwise) applied to an array of any shape — each row of a
+    bucketized matrix serializes to exactly the bytes ``quantize``
+    would produce for that row, which is how the decision ledger
+    resolves a whole run's fingerprints in one vectorized pass.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
     buckets = np.full(values.shape, _ZERO_BUCKET, dtype=np.int64)
     buckets[np.isinf(values)] = _INF_BUCKET
     finite_pos = (values > 0) & np.isfinite(values)
@@ -78,7 +97,7 @@ def quantize(values: np.ndarray, tolerance: float) -> bytes:
         buckets[finite_pos] = np.round(
             np.log(values[finite_pos]) / math.log1p(tolerance)
         ).astype(np.int64)
-    return buckets.tobytes()
+    return buckets
 
 
 def plan_fingerprint(

@@ -78,3 +78,13 @@ class GumEngine(BSPEngine):
     def config(self) -> GumConfig:
         """The arbitrator configuration in effect."""
         return self._config
+
+    @property
+    def ledger(self):
+        """Decision ledger of the most recent run (also on the result).
+
+        Convenience accessor for interactive use: after ``run()`` this
+        is the same :class:`repro.obs.ledger.Ledger` the result carries
+        as ``RunResult.ledger``.
+        """
+        return self._scheduler.ledger

@@ -79,6 +79,11 @@ def run(
         changes results or virtual time — see ``docs/performance.md``.
     params:
         Algorithm init parameters (``source=...`` etc.).
+
+    With the default GUM engine the returned result also carries a
+    per-decision explainability ledger (``result.ledger``, a
+    :class:`~repro.obs.ledger.Ledger`): every OSteal/FSteal decision
+    with its features, predicted vs measured cost, and drift analytics.
     """
     if isinstance(algorithm, str):
         algorithm = make_algorithm(algorithm)

@@ -48,18 +48,28 @@ class FrontierFeatures:
     total_edges: int
 
     def vector(self) -> np.ndarray:
-        """The 6-entry feature vector in :data:`FEATURE_NAMES` order."""
-        return np.array(
-            [
-                self.avg_in_degree,
-                self.avg_out_degree,
-                self.in_degree_range,
-                self.out_degree_range,
-                self.gini,
-                self.entropy,
-            ],
-            dtype=np.float64,
-        )
+        """The 6-entry feature vector in :data:`FEATURE_NAMES` order.
+
+        Built once and cached (the instance is immutable, and the
+        scheduler's audit, pricing, and fingerprinting all re-read it
+        every iteration); the returned array is marked read-only.
+        """
+        cached = self.__dict__.get("_vector")
+        if cached is None:
+            cached = np.array(
+                [
+                    self.avg_in_degree,
+                    self.avg_out_degree,
+                    self.in_degree_range,
+                    self.out_degree_range,
+                    self.gini,
+                    self.entropy,
+                ],
+                dtype=np.float64,
+            )
+            cached.flags.writeable = False
+            object.__setattr__(self, "_vector", cached)
+        return cached
 
     @staticmethod
     def empty() -> "FrontierFeatures":

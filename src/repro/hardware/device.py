@@ -17,6 +17,8 @@ Table V comparison of model families is a genuine learning problem.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.graph.features import FrontierFeatures
@@ -42,6 +44,14 @@ class DeviceModel:
                  noise_amplitude: float = 0.03) -> None:
         self._gpu = gpu or GPUSpec()
         self._noise = float(noise_amplitude)
+        # id-keyed ground-truth memo; entries pin their features object
+        # so a recycled id can never alias (see true_edge_cost)
+        self._cost_memo: Dict[
+            int, Tuple[FrontierFeatures, float]
+        ] = {}
+
+    #: Ground-truth memo flush threshold (bounds a long run's memory).
+    _MEMO_BOUND = 4096
 
     @property
     def gpu(self) -> GPUSpec:
@@ -102,17 +112,28 @@ class DeviceModel:
         """
         if features.total_edges == 0:
             return self._gpu.base_edge_cost_ns * 1e-9
+        # the cost is a pure function of the (immutable) features, and
+        # frontier objects memoize their features — so the scheduler's
+        # prediction audit and the engine's chunk pricing can share one
+        # evaluation per frontier instead of recomputing the noise hash
+        hit = self._cost_memo.get(id(features))
+        if hit is not None and hit[0] is features:
+            return hit[1]
         multiplier = (
             self.contention_factor(features)
             * self.coalescing_factor(features)
             * self.gather_factor(features)
         )
-        return (
+        cost = (
             self._gpu.base_edge_cost_ns
             * multiplier
             * self._pseudo_noise(features)
             * 1e-9
         )
+        if len(self._cost_memo) >= self._MEMO_BOUND:
+            self._cost_memo.clear()
+        self._cost_memo[id(features)] = (features, cost)
+        return cost
 
     def oracle(self):
         """Return ``g*`` as a plain callable (the Exp-7 oracle baseline)."""

@@ -11,7 +11,10 @@ engine, scheduler, and baseline:
   rates, online cost-model RMSRE, ...);
 * :func:`result_to_spans` — the offline bridge from a finished
   :class:`~repro.runtime.metrics.RunResult` to the same span stream a
-  live tracer emits.
+  live tracer emits;
+* :class:`Ledger` — the per-decision explainability record the GUM
+  arbitrator keeps (prediction audit, drift detection, error
+  attribution; ``repro explain`` renders it).
 
 Everything defaults to :data:`NULL_TRACER` / :data:`NULL_METRICS`,
 which discard all records, so uninstrumented runs pay nothing.
@@ -59,6 +62,13 @@ from repro.obs.live import (
     StreamingSink,
     read_stream_events,
 )
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    LedgerError,
+    explain_lines,
+    reconstruct_rmsre,
+)
 from repro.obs.prom import prom_text, write_prom
 from repro.obs.slo import (
     SloPolicy,
@@ -99,6 +109,11 @@ __all__ = [
     "replay",
     "StreamingSink",
     "read_stream_events",
+    "LEDGER_SCHEMA",
+    "Ledger",
+    "LedgerError",
+    "explain_lines",
+    "reconstruct_rmsre",
     "prom_text",
     "write_prom",
     "SloPolicy",

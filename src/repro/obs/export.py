@@ -142,6 +142,66 @@ def result_to_spans(result: RunResult) -> List[SpanRecord]:
     return spans
 
 
+class _IterationInstruments:
+    """Resolved-once instrument handles for :func:`emit_iteration`.
+
+    Name lookups and label-key construction are cheap individually but
+    the emitter performs ~10 of them per superstep, which adds up at
+    the obs budget's scale. One of these is cached per registry; the
+    conditional instruments (steal/fsteal/group) stay lazily created so
+    a run that never steals registers exactly the instruments it always
+    did.
+    """
+
+    __slots__ = (
+        "registry", "iterations", "frontier_edges", "buckets",
+        "bucket_keys", "wall_hist", "wall_ms", "edges_series",
+        "active_series", "steal_total", "fsteal_iters", "group_gauge",
+        "steal_series",
+    )
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.registry = metrics
+        self.iterations = metrics.counter("engine.iterations")
+        self.frontier_edges = metrics.counter("engine.frontier_edges")
+        self.buckets = metrics.counter(
+            "engine.bucket_seconds",
+            "virtual seconds per Figure-6 cost bucket",
+        )
+        # (label key, TimeBreakdown attribute) pairs — the as_dict()
+        # buckets minus the derived "total", with the label tuples
+        # prebuilt so the per-superstep loop is pure dict updates
+        self.bucket_keys = tuple(
+            ((("bucket", name),), name)
+            for name in ("compute", "communication", "serialization",
+                         "sync", "overhead")
+        )
+        self.wall_hist = metrics.histogram("engine.iteration_wall_seconds")
+        self.wall_ms = metrics.timeseries(
+            "engine.wall_ms_series", "per-superstep wall time (ms)"
+        )
+        self.edges_series = metrics.timeseries(
+            "engine.frontier_edges_series",
+            "per-superstep frontier out-edges",
+        )
+        self.active_series = metrics.timeseries(
+            "engine.active_workers_series",
+            "per-superstep communication-group size",
+        )
+        self.steal_total = None
+        self.fsteal_iters = None
+        self.group_gauge = None
+        self.steal_series = None
+
+
+def _iteration_instruments(metrics: MetricsRegistry) -> _IterationInstruments:
+    handles = getattr(metrics, "_iteration_instruments", None)
+    if handles is None or handles.registry is not metrics:
+        handles = _IterationInstruments(metrics)
+        metrics._iteration_instruments = handles
+    return handles
+
+
 def emit_iteration(
     tracer: Tracer,
     metrics: MetricsRegistry,
@@ -170,41 +230,38 @@ def emit_iteration(
                    "iteration": record.iteration},
             )
     if metrics.enabled:
-        metrics.counter("engine.iterations").inc()
-        metrics.counter("engine.frontier_edges").inc(record.frontier_edges)
+        handles = _iteration_instruments(metrics)
+        handles.iterations.inc()
+        handles.frontier_edges.inc(record.frontier_edges)
         if record.stolen_edges:
-            metrics.counter("steal.edges_total").inc(record.stolen_edges)
+            if handles.steal_total is None:
+                handles.steal_total = metrics.counter("steal.edges_total")
+            handles.steal_total.inc(record.stolen_edges)
         if record.fsteal_applied:
-            metrics.counter("fsteal.iterations").inc()
+            if handles.fsteal_iters is None:
+                handles.fsteal_iters = metrics.counter("fsteal.iterations")
+            handles.fsteal_iters.inc()
         if record.osteal_group_size is not None:
-            metrics.gauge("osteal.group_size").set(record.osteal_group_size)
-        buckets = metrics.counter(
-            "engine.bucket_seconds",
-            "virtual seconds per Figure-6 cost bucket",
-        )
-        for bucket, seconds in record.breakdown.as_dict().items():
-            if bucket != "total":
-                buckets.inc(seconds, bucket=bucket)
-        metrics.histogram(
-            "engine.iteration_wall_seconds"
-        ).observe(record.wall_seconds)
+            if handles.group_gauge is None:
+                handles.group_gauge = metrics.gauge("osteal.group_size")
+            handles.group_gauge.set(record.osteal_group_size)
+        buckets = handles.buckets
+        breakdown = record.breakdown
+        for key, bucket in handles.bucket_keys:
+            buckets.inc_key(key, getattr(breakdown, bucket))
+        handles.wall_hist.observe(record.wall_seconds)
         # per-iteration timeseries: the run registry archives these so
         # two runs can be compared superstep-by-superstep, not just on
         # end-to-end aggregates
         iteration = record.iteration
-        metrics.timeseries(
-            "engine.wall_ms_series", "per-superstep wall time (ms)"
-        ).append(record.wall_seconds * 1e3, index=iteration)
-        metrics.timeseries(
-            "engine.frontier_edges_series",
-            "per-superstep frontier out-edges",
-        ).append(record.frontier_edges, index=iteration)
-        metrics.timeseries(
-            "engine.active_workers_series",
-            "per-superstep communication-group size",
-        ).append(record.num_active, index=iteration)
+        handles.wall_ms.append(record.wall_seconds * 1e3, index=iteration)
+        handles.edges_series.append(record.frontier_edges, index=iteration)
+        handles.active_series.append(record.num_active, index=iteration)
         if record.stolen_edges:
-            metrics.timeseries(
-                "steal.edges_series", "per-superstep stolen edges"
-            ).append(record.stolen_edges, index=iteration)
+            if handles.steal_series is None:
+                handles.steal_series = metrics.timeseries(
+                    "steal.edges_series", "per-superstep stolen edges"
+                )
+            handles.steal_series.append(record.stolen_edges,
+                                        index=iteration)
     return virtual_start + record.wall_seconds

@@ -1,0 +1,897 @@
+"""Per-decision ledger: steal explainability and prediction audit.
+
+The paper's Exp-7 links cost-model accuracy to steal-policy quality,
+but an aggregate RMSRE cannot say *which* decision the model got wrong.
+This module records one entry per arbitrator decision — the quantized
+feature vector it saw, the candidate set it weighed, the plan it chose,
+the plan-cache status (``live``/``warm``/``cached``), the predicted
+virtual cost, and the measured cost back-filled when the iteration
+completes — plus derived analytics: per-iteration and online RMSRE
+timeseries, EWMA drift detection on the prediction error, and
+per-GPU/per-fragment error attribution.
+
+Everything recorded is a virtual-clock or model quantity, so two runs
+of the same workload produce byte-identical ledgers (the property the
+committed golden ledger in ``benchmarks/reference`` gates). Recording
+never touches the arbitrator's modeled overhead or its decisions: the
+ledger observes the physics, it does not perturb them.
+
+The stored schema is versioned (``repro-ledger/1``) and JSON-stable.
+:meth:`Ledger.export_samples` emits the ``(features -> measured cost)``
+training pairs a ``costmodel fit --from-runs`` harvester needs, and
+:func:`reconstruct_rmsre` replays the arbitrator's online RMSRE
+bit-identically from the entries alone — ``repro explain`` checks that
+equality on every render.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.decision_cache import bucketize
+from repro.errors import ReproError
+from repro.obs.metrics import quantile
+
+__all__ = [
+    "LEDGER_SCHEMA",
+    "DRIFT_ALPHA",
+    "DRIFT_WARMUP",
+    "Ledger",
+    "LedgerError",
+    "explain_lines",
+    "reconstruct_rmsre",
+]
+
+LEDGER_SCHEMA = "repro-ledger/1"
+
+#: EWMA smoothing factor of the drift detector (matches the SLO
+#: engine's series rules).
+DRIFT_ALPHA = 0.3
+
+#: Iterations before the drift z-score starts reporting (the EWMA
+#: mean/variance are meaningless on the first few samples).
+DRIFT_WARMUP = 5
+
+#: Zero-variance mismatch clamp — kept finite so stored ledgers stay
+#: strict JSON (no ``Infinity`` literals in committed goldens).
+_DRIFT_CLAMP = 1e9
+
+
+class LedgerError(ReproError):
+    """Malformed, missing, or unusable decision-ledger payload."""
+
+
+def reconstruct_rmsre(entries: Sequence[dict]) -> Optional[float]:
+    """Replay the arbitrator's online RMSRE from ledger entries alone.
+
+    Accumulates ``((predicted - actual) / actual) ** 2`` over every
+    positive-actual sample in recorded order — the exact update
+    :class:`repro.core.costmodel.OnlineRMSRE` performs — so the result
+    is bit-identical to the arbitrator's final value. ``None`` when no
+    sample was counted.
+    """
+    sum_sq = 0.0
+    count = 0
+    for entry in entries:
+        for sample in entry.get("samples", ()):
+            actual = sample["actual"]
+            if actual <= 0:
+                continue
+            sum_sq += ((sample["predicted"] - actual) / actual) ** 2
+            count += 1
+    if count == 0:
+        return None
+    return float(np.sqrt(sum_sq / count))
+
+
+class _RawEntry:
+    """One iteration's recording, exactly as the arbitrator handed it.
+
+    Recording runs inside the engine's measured wall time, so the hot
+    path stores references and tuples only; :meth:`Ledger._materialize`
+    turns a raw entry into the JSON-stable schema dict the first time
+    anything reads :attr:`Ledger.entries` — after the run, off the
+    clock. Derived *sequential* state (the online RMSRE and the EWMA
+    drift z-score) is still computed at :meth:`Ledger.commit` time
+    because the live ``ledger.*`` metrics publish it every iteration.
+    """
+
+    __slots__ = (
+        "iteration", "workloads", "fingerprint", "osteal", "fsteal",
+        "samples", "skipped", "rmsre_online", "drift_z", "commit_args",
+        "measured",
+    )
+
+    def __init__(self, iteration: int, workloads, fingerprint) -> None:
+        self.iteration = iteration
+        self.workloads = workloads
+        self.fingerprint = fingerprint
+        self.osteal = None
+        self.fsteal = None
+        self.samples: List[tuple] = []
+        self.skipped = 0
+        self.rmsre_online: Optional[float] = None
+        self.drift_z: Optional[float] = None
+        self.commit_args: Optional[tuple] = None
+        self.measured: Optional[tuple] = None
+
+
+class Ledger:
+    """Append-only per-decision record of one arbitrator's run.
+
+    The scheduler drives the per-iteration recording protocol —
+    :meth:`begin`, the ``record_*`` calls, :meth:`commit` — inside its
+    ``plan`` hook, back-fills the measured cost from ``observe`` via
+    :meth:`backfill`, attributes injected faults via
+    :meth:`record_fault`, and stamps the arbitrator's own final RMSRE
+    with :meth:`seal` so post-hoc reconstruction can be verified.
+
+    Recording appends raw tuples; the schema dicts (and the deferred
+    fingerprint quantization) materialize lazily on the first read of
+    :attr:`entries`, which keeps the in-run recording cost inside the
+    observability budget the ``obs.ledger_overhead`` benches pin.
+    """
+
+    def __init__(self, model: str = "default",
+                 amortize: bool = True,
+                 fingerprint_tolerance: float = 0.05) -> None:
+        self.model = str(model)
+        self.amortize = bool(amortize)
+        self.fingerprint_tolerance = float(fingerprint_tolerance)
+        self.faults: List[dict] = []
+        self.skipped_samples = 0
+        self.final_rmsre: Optional[float] = None
+        self._open: Optional[_RawEntry] = None
+        self._raw: List[_RawEntry] = []
+        self._entries: Optional[List[dict]] = None
+        self._by_iteration: Dict[int, object] = {}
+        # online-RMSRE mirror (same accumulation order as the source)
+        self._sum_sq = 0.0
+        self._counted = 0
+        self._last_rmsre: Optional[float] = None
+        # current iteration's signed relative-error accumulator
+        self._it_signed = 0.0
+        self._it_nsigned = 0
+        # past-only EWMA drift state over per-iteration mean rel. error
+        self._drift_mean = 0.0
+        self._drift_var = 0.0
+        self._drift_n = 0
+        self._last_z = 0.0
+
+    # --- recording protocol (called by the arbitrator) -----------------
+    def begin(self, iteration: int, workloads: Sequence[int],
+              fingerprint: Optional[
+                  Union[bytes, str, np.ndarray, Sequence[np.ndarray]]
+              ] = None) -> None:
+        """Open this iteration's entry (quantized inputs snapshot).
+
+        ``fingerprint`` may be the already-quantized bytes/hex, a raw
+        input vector, or a sequence of vectors to concatenate — raw
+        vectors are log-bucketed lazily (all at once, when the entries
+        materialize) so per-iteration recording does not pay for
+        quantization.
+        """
+        if isinstance(workloads, np.ndarray):
+            workloads = workloads.tolist()
+        self._open = _RawEntry(int(iteration), workloads, fingerprint)
+        self._it_signed = 0.0
+        self._it_nsigned = 0
+
+    def record_sample(self, fragment: int, worker: int, features,
+                      predicted: float, actual: float) -> None:
+        """One (features -> predicted vs true edge cost) audit pair.
+
+        Samples land in the exact order the arbitrator feeds its
+        online RMSRE, so :func:`reconstruct_rmsre` replays bitwise.
+        Non-positive actuals are kept (flagged by ``skipped``) — the
+        ledger explains what the model saw, including the samples the
+        accuracy statistic refuses.
+        """
+        entry = self._open
+        if entry is None:
+            return
+        entry.samples.append(
+            (fragment, worker, features, predicted, actual)
+        )
+        if actual <= 0:
+            entry.skipped += 1
+            self.skipped_samples += 1
+            return
+        self._sum_sq += ((predicted - actual) / actual) ** 2
+        self._counted += 1
+        self._it_signed += (predicted - actual) / actual
+        self._it_nsigned += 1
+
+    def record_osteal(self, group_size: int, prev_group_size: int,
+                      candidates: int, evaluated_sizes: int,
+                      reused_sizes: int, estimated_cost: float,
+                      estimated_kernel: float,
+                      p_estimate: float) -> None:
+        """The Algorithm-2 evaluation: candidate sizes and the pick."""
+        entry = self._open
+        if entry is None:
+            return
+        entry.osteal = (
+            group_size, prev_group_size, candidates, evaluated_sizes,
+            reused_sizes, estimated_cost, estimated_kernel, p_estimate,
+        )
+
+    def record_fsteal(self, solver: str, cache_status: str,
+                      objective: float, warm_started: bool,
+                      static_makespan: Optional[float],
+                      gain: Optional[float],
+                      modeled_overhead: float,
+                      rejected_by_gate: bool) -> None:
+        """The Algorithm-1 solve: chosen plan, cache status, gate."""
+        entry = self._open
+        if entry is None:
+            return
+        entry.fsteal = (
+            solver, cache_status, objective, warm_started,
+            static_makespan, gain, modeled_overhead, rejected_by_gate,
+        )
+
+    def commit(self, group_size: int, active_workers: Sequence[int],
+               fsteal_applied: bool, stolen_edges: int,
+               migrated_vertices: int) -> None:
+        """Close the entry: chosen plan plus derived accuracy state."""
+        entry = self._open
+        if entry is None:
+            raise LedgerError("commit without begin")
+        entry.commit_args = (
+            group_size, tuple(active_workers), fsteal_applied,
+            stolen_edges, migrated_vertices,
+        )
+        if self._counted:
+            # math.sqrt == np.sqrt bit for bit (both correctly rounded)
+            entry.rmsre_online = float(
+                math.sqrt(self._sum_sq / self._counted)
+            )
+            self._last_rmsre = entry.rmsre_online
+        if self._it_nsigned:
+            entry.drift_z = self._drift_update(
+                self._it_signed / self._it_nsigned
+            )
+        self._raw.append(entry)
+        self._by_iteration[entry.iteration] = entry
+        self._open = None
+        self._entries = None
+
+    def _drift_update(self, x: float) -> float:
+        """Past-only EWMA z-score of the mean signed relative error."""
+        if self._drift_n < DRIFT_WARMUP:
+            z = 0.0
+        elif self._drift_var <= 0.0:
+            z = 0.0 if x == self._drift_mean else math.copysign(
+                _DRIFT_CLAMP, x - self._drift_mean
+            )
+        else:
+            z = (x - self._drift_mean) / math.sqrt(self._drift_var)
+        delta = x - self._drift_mean
+        self._drift_mean += DRIFT_ALPHA * delta
+        self._drift_var = (1.0 - DRIFT_ALPHA) * (
+            self._drift_var + DRIFT_ALPHA * delta * delta
+        )
+        self._drift_n += 1
+        self._last_z = float(z)
+        return self._last_z
+
+    def backfill(self, iteration: int, wall_seconds: float,
+                 critical_busy_seconds: float, compute_seconds: float,
+                 num_active: int) -> None:
+        """Attach the measured virtual cost once the iteration ran."""
+        entry = self._by_iteration.get(int(iteration))
+        if entry is None:
+            return
+        if type(entry) is _RawEntry:
+            entry.measured = (
+                wall_seconds, critical_busy_seconds, compute_seconds,
+                num_active,
+            )
+            self._entries = None
+            return
+        # deserialized (already materialized) entry
+        critical = float(critical_busy_seconds)
+        entry["measured"] = {
+            "wall_seconds": float(wall_seconds),
+            "critical_busy_seconds": critical,
+            "compute_seconds": float(compute_seconds),
+            "num_active": int(num_active),
+        }
+        predicted = entry["predicted_seconds"]
+        if predicted is not None and critical > 0:
+            entry["decision_error"] = float(
+                (predicted - critical) / critical
+            )
+
+    def record_fault(self, iteration: Optional[int], kind: str,
+                     worker: Optional[int],
+                     heir: Optional[int]) -> None:
+        """Attribute an injected fault so evictions leave no gaps."""
+        self.faults.append({
+            "iteration": None if iteration is None else int(iteration),
+            "kind": str(kind),
+            "worker": None if worker is None else int(worker),
+            "heir": None if heir is None else int(heir),
+        })
+
+    def seal(self, final_rmsre: Optional[float],
+             skipped: Optional[int] = None) -> None:
+        """Stamp the arbitrator's own final online RMSRE (and skips).
+
+        Post-hoc readers verify :func:`reconstruct_rmsre` against this
+        value; a mismatch means the ledger missed a sample.
+        """
+        self.final_rmsre = (
+            None if final_rmsre is None else float(final_rmsre)
+        )
+        if skipped is not None and int(skipped) != self.skipped_samples:
+            raise LedgerError(
+                f"arbitrator skipped {skipped} non-positive actuals but "
+                f"the ledger recorded {self.skipped_samples}"
+            )
+
+    # --- materialization -----------------------------------------------
+    @property
+    def entries(self) -> List[dict]:
+        """Schema dicts of every committed decision (lazily built).
+
+        Raw recordings materialize on first access (and again after any
+        later :meth:`commit`/:meth:`backfill` — materialization is a
+        pure function of the raw state, so rebuilding is safe).
+        """
+        if self._entries is None:
+            entries = []
+            deferred: List[Tuple[dict, np.ndarray]] = []
+            for raw in self._raw:
+                entries.append(self._materialize(raw, deferred))
+            self._quantize_fingerprints(deferred)
+            self._entries = entries
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: Sequence[dict]) -> None:
+        self._entries = list(value)
+        self._raw = []
+
+    def _materialize(
+        self, raw: _RawEntry, deferred: List[Tuple[dict, np.ndarray]]
+    ) -> dict:
+        """Schema dict of one raw entry (same arithmetic, same order,
+        as recording inline would have produced — the bit-identity the
+        determinism tests pin)."""
+        samples: List[dict] = []
+        per_worker: Dict[int, float] = {}
+        sq_sum = 0.0
+        sq_n = 0
+        for fragment, worker, features, predicted, actual in raw.samples:
+            predicted = float(predicted)
+            actual = float(actual)
+            worker = int(worker)
+            edges = int(features.total_edges)
+            samples.append({
+                "fragment": int(fragment),
+                "worker": worker,
+                "edges": edges,
+                "features": features.vector().tolist(),
+                "predicted": predicted,
+                "actual": actual,
+            })
+            per_worker[worker] = (
+                per_worker.get(worker, 0.0) + predicted * edges
+            )
+            if actual <= 0:
+                continue
+            rel = (predicted - actual) / actual
+            sq_sum += rel * rel
+            sq_n += 1
+        # the model's predicted critical compute under the ownership it
+        # was consulted with
+        predicted_seconds = (
+            float(max(per_worker.values())) if per_worker else None
+        )
+        osteal = None
+        if raw.osteal is not None:
+            (group_size, prev_group_size, candidates, evaluated_sizes,
+             reused_sizes, estimated_cost, estimated_kernel,
+             p_estimate) = raw.osteal
+            osteal = {
+                "group_size": int(group_size),
+                "prev_group_size": int(prev_group_size),
+                "candidates": int(candidates),
+                "evaluated_sizes": int(evaluated_sizes),
+                "reused_sizes": int(reused_sizes),
+                "estimated_cost": float(estimated_cost),
+                "estimated_kernel": float(estimated_kernel),
+                "p_estimate": float(p_estimate),
+            }
+        fsteal = None
+        cache_status = None
+        if raw.fsteal is not None:
+            (solver, cache_status, objective, warm_started,
+             static_makespan, gain, modeled_overhead,
+             rejected_by_gate) = raw.fsteal
+            cache_status = str(cache_status)
+            fsteal = {
+                "solver": str(solver),
+                "cache_status": cache_status,
+                "objective": float(objective),
+                "warm_started": bool(warm_started),
+                "static_makespan": (
+                    None if static_makespan is None
+                    else float(static_makespan)
+                ),
+                "gain": None if gain is None else float(gain),
+                "modeled_overhead": float(modeled_overhead),
+                "rejected_by_gate": bool(rejected_by_gate),
+            }
+        (group_size, active_workers, fsteal_applied, stolen_edges,
+         migrated_vertices) = raw.commit_args
+        measured = None
+        decision_error = None
+        if raw.measured is not None:
+            (wall_seconds, critical, compute_seconds,
+             num_active) = raw.measured
+            critical = float(critical)
+            measured = {
+                "wall_seconds": float(wall_seconds),
+                "critical_busy_seconds": critical,
+                "compute_seconds": float(compute_seconds),
+                "num_active": int(num_active),
+            }
+            if predicted_seconds is not None and critical > 0:
+                decision_error = float(
+                    (predicted_seconds - critical) / critical
+                )
+        entry = {
+            "iteration": raw.iteration,
+            "fingerprint": None,
+            "workloads": [int(w) for w in raw.workloads],
+            "osteal": osteal,
+            "fsteal": fsteal,
+            "cache_status": cache_status,
+            "samples": samples,
+            "skipped": raw.skipped,
+            "predicted_seconds": predicted_seconds,
+            "rmsre_iteration": (
+                float(math.sqrt(sq_sum / sq_n)) if sq_n else None
+            ),
+            "rmsre_online": raw.rmsre_online,
+            "drift_z": raw.drift_z,
+            "group_size": int(group_size),
+            "active_workers": [int(w) for w in active_workers],
+            "fsteal_applied": bool(fsteal_applied),
+            "stolen_edges": int(stolen_edges),
+            "migrated_vertices": int(migrated_vertices),
+            "measured": measured,
+            "decision_error": decision_error,
+        }
+        fp = raw.fingerprint
+        if fp is not None:
+            if isinstance(fp, (bytes, bytearray)):
+                entry["fingerprint"] = fp.hex()
+            elif isinstance(fp, str):
+                entry["fingerprint"] = fp
+            elif isinstance(fp, np.ndarray):
+                deferred.append(
+                    (entry, np.asarray(fp, dtype=np.float64))
+                )
+            else:  # sequence of vectors, concatenated lazily
+                deferred.append((entry, np.concatenate(
+                    [np.asarray(p, dtype=np.float64) for p in fp]
+                )))
+        return entry
+
+    def _quantize_fingerprints(
+        self, pending: List[Tuple[dict, np.ndarray]]
+    ) -> None:
+        """Quantize every deferred fingerprint vector in one pass.
+
+        Stacks same-length vectors (one run keeps a fixed fragment
+        count, so normally a single stack) and log-buckets them with
+        :func:`repro.core.decision_cache.bucketize` — each resolved hex
+        string is byte-identical to quantizing that vector alone.
+        """
+        if not pending:
+            return
+        tolerance = self.fingerprint_tolerance
+        by_size: Dict[int, List[Tuple[dict, np.ndarray]]] = {}
+        for item in pending:
+            by_size.setdefault(item[1].size, []).append(item)
+        for group in by_size.values():
+            if tolerance <= 0.0:
+                for entry, vec in group:
+                    entry["fingerprint"] = vec.tobytes().hex()
+                continue
+            buckets = bucketize(
+                np.stack([vec for _, vec in group]), tolerance
+            )
+            for (entry, _), row in zip(group, buckets):
+                entry["fingerprint"] = row.tobytes().hex()
+
+    # --- queries --------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Counted (positive-actual) audit samples so far."""
+        return self._counted
+
+    @property
+    def num_entries(self) -> int:
+        """Committed decisions so far (no materialization needed)."""
+        if self._raw:
+            return len(self._raw)
+        return len(self._entries) if self._entries is not None else 0
+
+    def last_rmsre_online(self) -> Optional[float]:
+        """Online RMSRE after the latest committed decision."""
+        return self._last_rmsre
+
+    def last_drift_z(self) -> float:
+        """Most recent drift z-score (0.0 before any sample)."""
+        return self._last_z
+
+    def cache_status_counts(self) -> Dict[str, int]:
+        """How many FSteal solves were live, warm-started, or cached."""
+        counts = {"live": 0, "warm": 0, "cached": 0}
+        for entry in self.entries:
+            status = entry["cache_status"]
+            if status in counts:
+                counts[status] += 1
+        return counts
+
+    def export_samples(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(features, costs)`` training pairs for cost-model fitting.
+
+        Rows are the recorded 6-entry feature vectors; costs are the
+        measured (ground-truth) per-edge seconds. Non-positive actuals
+        are excluded, so the result feeds ``CostModel.fit`` directly.
+        """
+        features: List[List[float]] = []
+        costs: List[float] = []
+        for entry in self.entries:
+            for sample in entry["samples"]:
+                if sample["actual"] <= 0:
+                    continue
+                features.append(sample["features"])
+                costs.append(sample["actual"])
+        if not features:
+            raise LedgerError(
+                "ledger holds no positive-cost samples to export"
+            )
+        return (
+            np.asarray(features, dtype=np.float64),
+            np.asarray(costs, dtype=np.float64),
+        )
+
+    def analytics(self) -> dict:
+        """Derived accuracy analytics over the whole run (JSON-ready)."""
+        attribution_fragment: Dict[int, List[float]] = {}
+        attribution_gpu: Dict[int, List[float]] = {}
+        for entry in self.entries:
+            for sample in entry["samples"]:
+                actual = sample["actual"]
+                if actual <= 0:
+                    continue
+                rel = (sample["predicted"] - actual) / actual
+                for acc, key in (
+                    (attribution_fragment, sample["fragment"]),
+                    (attribution_gpu, sample["worker"]),
+                ):
+                    acc.setdefault(key, []).append(rel)
+        errors = [
+            abs(entry["decision_error"]) for entry in self.entries
+            if entry["decision_error"] is not None
+        ]
+        drift = [
+            abs(entry["drift_z"]) for entry in self.entries
+            if entry["drift_z"] is not None
+        ]
+        return {
+            "iterations": [e["iteration"] for e in self.entries],
+            "rmsre_series": [e["rmsre_iteration"] for e in self.entries],
+            "rmsre_online_series": [
+                e["rmsre_online"] for e in self.entries
+            ],
+            "drift_z_series": [e["drift_z"] for e in self.entries],
+            "max_model_drift": max(drift) if drift else 0.0,
+            "final_rmsre": reconstruct_rmsre(self.entries),
+            "samples": int(self._counted),
+            "skipped_samples": int(self.skipped_samples),
+            "cache_status_counts": self.cache_status_counts(),
+            "decision_error": {
+                "p50": quantile(errors, 0.50),
+                "p90": quantile(errors, 0.90),
+                "p99": quantile(errors, 0.99),
+                "max": max(errors) if errors else None,
+                "count": len(errors),
+            },
+            "by_fragment": _attribution(attribution_fragment),
+            "by_gpu": _attribution(attribution_gpu),
+        }
+
+    def summary(self) -> dict:
+        """Compact block for ``result_summary`` / SLO indicators."""
+        counts = self.cache_status_counts()
+        errors = [
+            abs(entry["decision_error"]) for entry in self.entries
+            if entry["decision_error"] is not None
+        ]
+        drift = [
+            abs(entry["drift_z"]) for entry in self.entries
+            if entry["drift_z"] is not None
+        ]
+        return {
+            "entries": len(self.entries),
+            "samples": int(self._counted),
+            "skipped_samples": int(self.skipped_samples),
+            "live": counts["live"],
+            "warm": counts["warm"],
+            "cached": counts["cached"],
+            "final_rmsre": reconstruct_rmsre(self.entries),
+            "max_model_drift": max(drift) if drift else 0.0,
+            "decision_error_p99": quantile(errors, 0.99),
+            "faults": len(self.faults),
+        }
+
+    # --- (de)serialization ----------------------------------------------
+    def as_dict(self) -> dict:
+        """Versioned JSON-stable payload (entries + analytics)."""
+        return {
+            "schema": LEDGER_SCHEMA,
+            "model": self.model,
+            "amortize": self.amortize,
+            "final_rmsre": self.final_rmsre,
+            "skipped_samples": int(self.skipped_samples),
+            "entries": [dict(entry) for entry in self.entries],
+            "faults": [dict(fault) for fault in self.faults],
+            "analytics": self.analytics(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Ledger":
+        """Rebuild a ledger from :meth:`as_dict` output (validated)."""
+        if not isinstance(payload, dict):
+            raise LedgerError("ledger payload must be a JSON object")
+        schema = payload.get("schema")
+        if schema != LEDGER_SCHEMA:
+            raise LedgerError(
+                f"unsupported ledger schema {schema!r} "
+                f"(expected {LEDGER_SCHEMA!r})"
+            )
+        ledger = cls(
+            model=payload.get("model", "default"),
+            amortize=bool(payload.get("amortize", True)),
+        )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise LedgerError("ledger payload has no entries list")
+        ledger.entries = [dict(entry) for entry in entries]
+        ledger.faults = [dict(f) for f in payload.get("faults", [])]
+        ledger.final_rmsre = payload.get("final_rmsre")
+        for entry in ledger.entries:
+            ledger._by_iteration[entry["iteration"]] = entry
+            if entry.get("drift_z") is not None:
+                ledger._last_z = float(entry["drift_z"])
+            if entry.get("rmsre_online") is not None:
+                ledger._last_rmsre = float(entry["rmsre_online"])
+            for sample in entry.get("samples", ()):
+                actual = sample["actual"]
+                if actual <= 0:
+                    ledger.skipped_samples += 1
+                    continue
+                rel = (sample["predicted"] - actual) / actual
+                ledger._sum_sq += rel * rel
+                ledger._counted += 1
+        return ledger
+
+
+def _attribution(groups: Dict[int, List[float]]) -> Dict[str, dict]:
+    """Per-key error statistics (keys stringified for JSON stability)."""
+    out = {}
+    for key in sorted(groups):
+        rels = groups[key]
+        out[str(key)] = {
+            "count": len(rels),
+            "rmsre": float(
+                math.sqrt(sum(r * r for r in rels) / len(rels))
+            ),
+            "mean_abs_rel_error": float(
+                sum(abs(r) for r in rels) / len(rels)
+            ),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `repro explain` CLI)
+# ----------------------------------------------------------------------
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.3f}ms"
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 100:+.1f}%"
+
+
+def _entry_line(entry: dict) -> str:
+    """One-line why-this-steal-happened story for an entry."""
+    bits = [f"iter {entry['iteration']:>4d}:"]
+    osteal = entry["osteal"]
+    if osteal is not None:
+        arrow = (
+            f"{osteal['prev_group_size']}->{osteal['group_size']}"
+            if osteal["group_size"] != osteal["prev_group_size"]
+            else f"{osteal['group_size']} (kept)"
+        )
+        bits.append(
+            f"osteal group {arrow} "
+            f"[{osteal['evaluated_sizes']} solved/"
+            f"{osteal['reused_sizes']} memoized of "
+            f"{osteal['candidates']} sizes, "
+            f"E={_fmt_seconds(osteal['estimated_cost'])}]"
+        )
+    fsteal = entry["fsteal"]
+    if fsteal is not None:
+        if fsteal["rejected_by_gate"]:
+            verdict = (
+                f"rejected by gate (gain {_fmt_seconds(fsteal['gain'])} "
+                f"<= overhead "
+                f"{_fmt_seconds(fsteal['modeled_overhead'])})"
+            )
+        elif entry["fsteal_applied"]:
+            verdict = (
+                f"applied, stole {entry['stolen_edges']} edges "
+                f"(gain {_fmt_seconds(fsteal['gain'])})"
+            )
+        else:
+            verdict = "solved but unused"
+        bits.append(
+            f"fsteal {fsteal['cache_status']} via {fsteal['solver']}, "
+            f"objective {_fmt_seconds(fsteal['objective'])}, {verdict}"
+        )
+    if osteal is None and fsteal is None:
+        bits.append(
+            f"no steal evaluated (group {entry['group_size']}, "
+            f"owner-local plan)"
+        )
+    measured = entry["measured"]
+    if measured is not None and entry["predicted_seconds"] is not None:
+        bits.append(
+            f"| predicted {_fmt_seconds(entry['predicted_seconds'])} vs "
+            f"measured {_fmt_seconds(measured['critical_busy_seconds'])} "
+            f"({_fmt_pct(entry['decision_error'])})"
+        )
+    return " ".join(bits)
+
+
+def _sample_lines(entry: dict) -> List[str]:
+    lines = [
+        "    fragment  gpu      edges     predicted        actual"
+        "   rel.err",
+    ]
+    for sample in entry["samples"]:
+        actual = sample["actual"]
+        rel = (
+            (sample["predicted"] - actual) / actual if actual > 0
+            else None
+        )
+        flag = "" if actual > 0 else "  (skipped)"
+        lines.append(
+            f"    {sample['fragment']:>8d} {sample['worker']:>4d} "
+            f"{sample['edges']:>10d} {sample['predicted']:>13.3e} "
+            f"{actual:>13.3e} {_fmt_pct(rel):>9s}{flag}"
+        )
+    return lines
+
+
+def explain_lines(ledger: Ledger,
+                  iteration: Optional[int] = None) -> List[str]:
+    """Render a ledger as the `repro explain` report.
+
+    Without ``iteration``: run-level header, accuracy analytics, the
+    reconstruction check, and one line per decision where a steal was
+    evaluated. With ``iteration``: that entry in full, including the
+    per-fragment prediction audit table.
+    """
+    analytics = ledger.analytics()
+    counts = analytics["cache_status_counts"]
+    lines = [
+        f"decision ledger: {len(ledger.entries)} decisions, "
+        f"model={ledger.model}, "
+        f"amortize={'on' if ledger.amortize else 'off'}",
+        f"  samples: {analytics['samples']} counted, "
+        f"{analytics['skipped_samples']} skipped (non-positive actual)",
+        f"  fsteal solves: {counts['live']} live, {counts['warm']} warm, "
+        f"{counts['cached']} cached",
+    ]
+    reconstructed = analytics["final_rmsre"]
+    if ledger.final_rmsre is not None and reconstructed is not None:
+        match = (
+            "bit-identical"
+            if reconstructed == ledger.final_rmsre
+            else f"MISMATCH vs arbitrator {ledger.final_rmsre!r}"
+        )
+        lines.append(
+            f"  final RMSRE: {reconstructed:.6g} "
+            f"(reconstructed from entries: {match})"
+        )
+    elif reconstructed is not None:
+        lines.append(f"  final RMSRE: {reconstructed:.6g}")
+    error = analytics["decision_error"]
+    if error["count"]:
+        lines.append(
+            f"  decision error |predicted-measured|/measured: "
+            f"p50 {_fmt_pct(error['p50'])}, p90 {_fmt_pct(error['p90'])}, "
+            f"p99 {_fmt_pct(error['p99'])} over {error['count']} decisions"
+        )
+    lines.append(
+        f"  model drift: max EWMA z {analytics['max_model_drift']:.3g}"
+    )
+    worst = sorted(
+        analytics["by_fragment"].items(),
+        key=lambda item: item[1]["rmsre"],
+        reverse=True,
+    )[:3]
+    if worst and worst[0][1]["rmsre"] > 0:
+        ranked = ", ".join(
+            f"fragment {key} (rmsre {stats['rmsre']:.3g})"
+            for key, stats in worst
+        )
+        lines.append(f"  worst-predicted: {ranked}")
+    for fault in ledger.faults:
+        where = (
+            "before first decision" if fault["iteration"] is None
+            else f"iteration {fault['iteration']}"
+        )
+        detail = ""
+        if fault["worker"] is not None:
+            detail = f" worker {fault['worker']}"
+            if fault["heir"] is not None:
+                detail += f" -> heir {fault['heir']}"
+        lines.append(f"  fault: {fault['kind']}{detail} at {where}")
+
+    if iteration is not None:
+        entry = next(
+            (e for e in ledger.entries if e["iteration"] == iteration),
+            None,
+        )
+        if entry is None:
+            raise LedgerError(
+                f"no ledger entry for iteration {iteration} "
+                f"(run has {len(ledger.entries)} decisions)"
+            )
+        lines.append("")
+        lines.append(_entry_line(entry))
+        if entry["fingerprint"]:
+            lines.append(
+                f"    quantized input fingerprint: "
+                f"{entry['fingerprint'][:32]}..."
+                if len(entry["fingerprint"]) > 32
+                else f"    quantized input fingerprint: "
+                     f"{entry['fingerprint']}"
+            )
+        lines.append(
+            f"    workloads: {entry['workloads']} -> "
+            f"active {entry['active_workers']}"
+        )
+        if entry["samples"]:
+            lines.extend(_sample_lines(entry))
+        return lines
+
+    lines.append("")
+    decisions = [
+        entry for entry in ledger.entries
+        if entry["osteal"] is not None or entry["fsteal"] is not None
+    ]
+    if not decisions:
+        lines.append("no steal was evaluated in this run")
+    for entry in decisions:
+        lines.append(_entry_line(entry))
+    return lines

@@ -32,6 +32,8 @@ __all__ = [
     "NullMetrics",
     "NULL_METRICS",
     "quantile",
+    "capture_light",
+    "render_light",
 ]
 
 
@@ -57,6 +59,13 @@ def _quantile_sorted(ordered: List[float], q: float) -> float:
 
 
 def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    # the engine's per-iteration instruments carry zero or one label,
+    # so those shapes skip the generic sort
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        for k, v in labels.items():
+            return ((k, v if isinstance(v, str) else str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -79,6 +88,17 @@ class Counter:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + float(value)
 
+    def inc_key(self, key: Tuple[Tuple[str, str], ...],
+                value: float = 1.0) -> None:
+        """:meth:`inc` with a precomputed label key.
+
+        Hot paths (the engine's per-superstep emitter) cache the
+        ``(("label", "value"),)`` tuples once and skip rebuilding them
+        every iteration; the series written are exactly the ones
+        :meth:`inc` would select.
+        """
+        self._values[key] = self._values.get(key, 0.0) + value
+
     def value(self, **labels) -> float:
         """Current value of one labelled series (0 if never touched)."""
         return self._values.get(_label_key(labels), 0.0)
@@ -89,6 +109,15 @@ class Counter:
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-friendly state (sorted series, plain floats)."""
+        values = self._values
+        if len(values) == 1:  # the common unlabelled counter
+            for key, value in values.items():
+                value = float(value)
+                return {
+                    "type": self.kind,
+                    "total": value,
+                    "series": {_key_string(key): value},
+                }
         return {
             "type": self.kind,
             "total": float(self.total()),
@@ -267,6 +296,86 @@ class Timeseries:
             out["index"] = list(self._index)
             out["values"] = list(self._values)
         return out
+
+
+def capture_light(registry: "MetricsRegistry") -> List[tuple]:
+    """Point-in-time instrument state, deferred formatting.
+
+    The streaming heartbeat must capture registry state at the beat
+    *instant* but should not pay for building the JSON snapshot on the
+    engine thread. This grabs each instrument's mutable state (small
+    dict/list copies) for :func:`render_light` to format later —
+    ``render_light(capture_light(r))`` equals ``r.snapshot(light=True)``
+    exactly (a pinned test).
+    """
+    captured = []
+    for name in sorted(registry._instruments):
+        instrument = registry._instruments[name]
+        kind = instrument.kind
+        if kind == "counter":
+            state = dict(instrument._values)
+        elif kind == "gauge":
+            state = instrument._value
+        elif kind == "histogram":
+            state = (
+                instrument.count, instrument.sum, instrument.min,
+                instrument.max, dict(instrument._buckets),
+                list(instrument._samples),
+            )
+        else:  # timeseries — light view only needs count/last
+            values = instrument._values
+            state = (len(values), values[-1] if values else None)
+        captured.append((name, kind, state))
+    return captured
+
+
+def render_light(captured: List[tuple]) -> Dict[str, Dict[str, object]]:
+    """Format :func:`capture_light` output as ``snapshot(light=True)``."""
+    out: Dict[str, Dict[str, object]] = {}
+    for name, kind, state in captured:
+        if kind == "counter":
+            if len(state) == 1:
+                for key, value in state.items():
+                    value = float(value)
+                    out[name] = {
+                        "type": "counter",
+                        "total": value,
+                        "series": {_key_string(key): value},
+                    }
+            else:
+                out[name] = {
+                    "type": "counter",
+                    "total": float(sum(state.values())),
+                    "series": {
+                        _key_string(key): float(value)
+                        for key, value in sorted(state.items())
+                    },
+                }
+        elif kind == "gauge":
+            out[name] = {"type": "gauge", "value": state}
+        elif kind == "histogram":
+            count, total, low, high, buckets, samples = state
+            ordered = sorted(samples)
+            out[name] = {
+                "type": "histogram",
+                "count": int(count),
+                "sum": float(total),
+                "mean": float(total / count) if count else None,
+                "min": None if low is None else float(low),
+                "max": None if high is None else float(high),
+                "p50": _quantile_sorted(ordered, 0.50) if ordered else None,
+                "p90": _quantile_sorted(ordered, 0.90) if ordered else None,
+                "p99": _quantile_sorted(ordered, 0.99) if ordered else None,
+                "decade_buckets": {
+                    f"1e{exp}" if exp != -999 else "0": int(n)
+                    for exp, n in sorted(buckets.items())
+                },
+            }
+        else:
+            count, last = state
+            out[name] = {"type": "timeseries", "count": count,
+                         "last": last}
+    return out
 
 
 class MetricsRegistry:

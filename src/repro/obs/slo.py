@@ -346,6 +346,13 @@ def slo_indicators(
         "max_stall_fraction": summary.get("stall_fraction"),
         "obs_overhead_pct": summary.get("obs_overhead_pct"),
     }
+    # decision-ledger accuracy indicators: None for stateless policies
+    # or manifests recorded before the ledger existed
+    ledger = summary.get("ledger") or {}
+    indicators["max_model_drift"] = ledger.get("max_model_drift")
+    indicators["max_decision_error_p99"] = ledger.get(
+        "decision_error_p99"
+    )
     chaos = summary.get("chaos") or {}
     events = chaos.get("events") or []
     if events:

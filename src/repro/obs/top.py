@@ -140,6 +140,26 @@ class TopModel:
         return False
 
 
+def _snapshot_value(
+    snapshot: Optional[Dict], name: str
+) -> Optional[float]:
+    """One instrument's scalar out of a registry snapshot.
+
+    Counters expose ``total``, gauges ``value``, timeseries ``last`` —
+    whichever the named instrument carries. ``None`` when the metric
+    (or the snapshot itself) is absent.
+    """
+    if not snapshot:
+        return None
+    instrument = snapshot.get(name)
+    if not isinstance(instrument, dict):
+        return None
+    for key in ("value", "total", "last"):
+        if instrument.get(key) is not None:
+            return float(instrument[key])
+    return None
+
+
 def _bar(fraction: float, width: int = 24) -> str:
     filled = int(round(max(0.0, min(1.0, fraction)) * width))
     return "█" * filled + "·" * (width - filled)
@@ -197,6 +217,34 @@ def render_frame(model: TopModel, width: int = 72) -> str:
             for kind, count in sorted(model.chaos_counts.items())
         )
         lines.append(f"chaos  {faults}".ljust(width))
+    snapshot = model.last_snapshot
+    workers = _snapshot_value(snapshot, "backend.workers")
+    if workers is not None:
+        tasks = _snapshot_value(snapshot, "backend.tasks") or 0
+        dispatch = _snapshot_value(snapshot, "backend.dispatch_seconds")
+        collect = _snapshot_value(snapshot, "backend.collect_seconds")
+        startup = _snapshot_value(snapshot, "backend.startup_seconds")
+        lines.append(
+            f"backend  {int(workers)} workers  {int(tasks)} tasks  "
+            f"startup {(startup or 0) * 1e3:.1f} ms  "
+            f"dispatch {(dispatch or 0) * 1e3:.1f} ms  "
+            f"collect {(collect or 0) * 1e3:.1f} ms".ljust(width)
+        )
+    entries = _snapshot_value(snapshot, "ledger.entries")
+    if entries is not None:
+        rmsre = _snapshot_value(snapshot, "ledger.rmsre_series")
+        drift = _snapshot_value(snapshot, "ledger.drift_z")
+        samples = _snapshot_value(snapshot, "ledger.samples") or 0
+        skipped = _snapshot_value(snapshot, "ledger.skipped_samples") or 0
+        lines.append(
+            f"ledger   {int(entries)} decisions  "
+            f"{int(samples)} samples ({int(skipped)} skipped)  "
+            f"rmsre {rmsre:.4f}  "
+            f"drift z {drift:+.2f}".ljust(width)
+            if rmsre is not None and drift is not None else
+            f"ledger   {int(entries)} decisions  "
+            f"{int(samples)} samples ({int(skipped)} skipped)".ljust(width)
+        )
     return "\n".join(lines)
 
 

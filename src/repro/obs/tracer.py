@@ -44,7 +44,7 @@ __all__ = [
 COORDINATOR_TRACK = "coordinator"
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One completed span or instant event.
 

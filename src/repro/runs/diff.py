@@ -106,6 +106,21 @@ RUN_METRICS = (
                note="SLO indicator"),
     MetricSpec("obs_overhead_pct", gated=False,
                note="host clock; machine-dependent"),
+    # decision-ledger analytics: absent on pre-ledger manifests and on
+    # stateless policies (_lookup -> None); informational — the model's
+    # accuracy is audited, not gated, here
+    MetricSpec("ledger.entries", gated=False, note="decision ledger"),
+    MetricSpec("ledger.samples", gated=False, note="decision ledger"),
+    MetricSpec("ledger.skipped_samples", gated=False,
+               note="decision ledger"),
+    MetricSpec("ledger.final_rmsre", gated=False, note="decision ledger"),
+    MetricSpec("ledger.max_model_drift", gated=False,
+               note="decision ledger"),
+    MetricSpec("ledger.decision_error_p99", gated=False,
+               note="decision ledger"),
+    MetricSpec("ledger.live", gated=False, note="decision ledger"),
+    MetricSpec("ledger.warm", gated=False, note="decision ledger"),
+    MetricSpec("ledger.cached", gated=False, note="decision ledger"),
 )
 
 

@@ -7,6 +7,8 @@ it durable. A recorded run becomes a directory under ``.repro/runs``::
         manifest.json     # fingerprint, environment, summary, metrics
         trace.jsonl       # per-iteration records (save_trace format)
         timeseries.json   # per-iteration arrays (RunResult.timeseries)
+        ledger.json       # per-decision explainability ledger, when the
+                          # policy recorded one (repro.obs.ledger)
 
 The manifest's **fingerprint** has two halves with different jobs:
 
@@ -54,6 +56,7 @@ DEFAULT_RUNS_ROOT = ".repro/runs"
 MANIFEST_NAME = "manifest.json"
 TRACE_NAME = "trace.jsonl"
 TIMESERIES_NAME = "timeseries.json"
+LEDGER_NAME = "ledger.json"
 
 #: Workload keys that must match for two runs to be comparable.
 WORKLOAD_KEYS = (
@@ -184,6 +187,10 @@ class RunRegistry:
         """
         from repro.cli import result_summary  # local: cli imports runs
 
+        files = [MANIFEST_NAME, TRACE_NAME, TIMESERIES_NAME]
+        ledger = getattr(result, "ledger", None)
+        if ledger is not None:
+            files.append(LEDGER_NAME)
         manifest = {
             "schema": RUN_SCHEMA,
             "kind": "run",
@@ -196,7 +203,7 @@ class RunRegistry:
             "environment": environment_info(),
             "summary": result_summary(result),
             "metrics": dict(metrics or {}),
-            "files": [MANIFEST_NAME, TRACE_NAME, TIMESERIES_NAME],
+            "files": files,
         }
         if notes:
             manifest["notes"] = notes
@@ -207,6 +214,10 @@ class RunRegistry:
         (run_dir / TIMESERIES_NAME).write_text(
             _json_stable(result.timeseries())
         )
+        if ledger is not None:
+            (run_dir / LEDGER_NAME).write_text(
+                _json_stable(ledger.as_dict())
+            )
         return run_dir.name
 
     def record_bench(self, report: Dict, notes: str = "") -> str:
@@ -355,6 +366,30 @@ class RunRegistry:
         except json.JSONDecodeError as exc:
             raise RunRegistryError(
                 f"{path}: corrupt timeseries ({exc.msg})"
+            ) from exc
+
+    def load_ledger(self, ref: str) -> Dict:
+        """Archived decision-ledger payload of a recorded run.
+
+        Returns the raw ``repro-ledger/1`` dict (feed it to
+        :meth:`repro.obs.ledger.Ledger.from_dict` to replay it).
+        Raises :class:`RunRegistryError` when the run recorded no
+        ledger (stateless policy, or recording disabled) or the file
+        is corrupt.
+        """
+        run_dir = self.resolve(ref)
+        path = run_dir / LEDGER_NAME
+        if not path.is_file():
+            raise RunRegistryError(
+                f"{run_dir.name}: no archived decision ledger "
+                f"({LEDGER_NAME} missing — stateless policy or "
+                f"recording disabled)"
+            )
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RunRegistryError(
+                f"{path}: corrupt ledger ({exc.msg})"
             ) from exc
 
     # -- maintenance ----------------------------------------------------

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -311,12 +311,55 @@ class BSPEngine:
         finally:
             session.close(state)
         result.backend_stats = session.stats()
+        result.ledger = self._scheduler.ledger
+        if self._metrics.enabled and result.backend_stats:
+            obs_start = time.perf_counter()
+            self._publish_backend_metrics(result.backend_stats)
+            result.obs_seconds += time.perf_counter() - obs_start
         result.values = state.values
         result.converged = not state.frontier
         if self._chaos is not None:
             result.chaos = self._chaos.stats()
         result.run_wall_seconds = time.perf_counter() - run_wall_start
         return result
+
+    def _publish_backend_metrics(self, stats: Dict[str, object]) -> None:
+        """Register the backend's host-side stats as gauges.
+
+        The worker/task/latency numbers used to live only on the JSON
+        summary; as registered metrics they reach every surface the
+        registry feeds — the snapshot, the Prometheus export, the live
+        stream's final snapshot, and the ``repro top`` backend panel.
+        """
+        gauges = {
+            "workers": (
+                "backend.workers",
+                "worker processes driven by the execution backend",
+            ),
+            "tasks": (
+                "backend.tasks",
+                "work-chunk tasks dispatched to backend workers",
+            ),
+            "startup_seconds": (
+                "backend.startup_seconds",
+                "host seconds starting the backend worker pool",
+            ),
+            "dispatch_seconds": (
+                "backend.dispatch_seconds",
+                "host seconds handing tasks to backend workers",
+            ),
+            "collect_seconds": (
+                "backend.collect_seconds",
+                "host seconds folding backend worker results",
+            ),
+        }
+        for key, (name, help) in gauges.items():
+            value = stats.get(key)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            self._metrics.gauge(name, help).set(float(value))
 
     # ------------------------------------------------------------------
     def _apply_faults(

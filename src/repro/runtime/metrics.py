@@ -66,7 +66,14 @@ class TimeBreakdown:
 
     def scaled_ms(self) -> Dict[str, float]:
         """Same as :meth:`as_dict` but in milliseconds."""
-        return {key: value * 1e3 for key, value in self.as_dict().items()}
+        return {
+            "compute": self.compute * 1e3,
+            "communication": self.communication * 1e3,
+            "serialization": self.serialization * 1e3,
+            "sync": self.sync * 1e3,
+            "overhead": self.overhead * 1e3,
+            "total": self.total * 1e3,
+        }
 
 
 @dataclass
@@ -129,6 +136,10 @@ class RunResult:
     #: dispatch/collect host seconds) for parallel backends; ``None``
     #: for the in-process serial backend.
     backend_stats: Optional[Dict[str, object]] = None
+    #: The scheduler's per-decision explainability ledger (a
+    #: ``repro.obs.ledger.Ledger``) when the policy records one;
+    #: ``None`` for stateless baselines or when recording is off.
+    ledger: Optional[object] = None
 
     def obs_overhead_pct(self) -> Optional[float]:
         """Observability overhead as a percentage of run wall time.

@@ -109,6 +109,11 @@ class Scheduler(abc.ABC):
 
     name: str = "abstract"
 
+    #: Per-decision explainability ledger of the current run (a
+    #: ``repro.obs.ledger.Ledger``) for policies that record one; the
+    #: engine copies it onto ``RunResult.ledger`` after ``finish_run``.
+    ledger: Optional[object] = None
+
     def begin_run(self, context: RunContext) -> None:
         """Called once before the first iteration."""
 

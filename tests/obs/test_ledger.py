@@ -1,0 +1,307 @@
+"""The decision ledger: per-steal explainability and prediction audit.
+
+The contract under test, end to end:
+
+* recording is deterministic — two runs of the same workload produce
+  byte-identical ledgers, and recording never perturbs virtual time;
+* every arbitrator decision yields exactly one entry (cache hits are
+  flagged ``cached``, never skipped; chaos evictions become
+  attributable fault records, not gaps);
+* the sealed online RMSRE is reconstructible bit-identically from the
+  archived entries alone — the acceptance bar for ``repro explain``;
+* ``export_samples`` round-trips through the cost-model training API.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.chaos import ChaosController, ChaosScenario, FaultSpec
+from repro.core import GumConfig
+from repro.core.costmodel import MODEL_FAMILIES, OnlineRMSRE
+from repro.graph.features import FrontierFeatures
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Ledger,
+    LedgerError,
+    explain_lines,
+    reconstruct_rmsre,
+)
+from repro.obs.slo import slo_indicators
+from repro.cli import result_summary
+
+
+def run_bfs(graph, source, config=None, chaos=None, **kwargs):
+    return repro.run(graph, "bfs", num_gpus=4, source=source,
+                     gum_config=config, chaos=chaos, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def recorded(skewed_graph, source):
+    return run_bfs(skewed_graph, source)
+
+
+# ---------------------------------------------------------------------------
+# recording basics
+
+
+def test_gum_runs_carry_a_ledger(recorded):
+    ledger = recorded.ledger
+    assert ledger is not None
+    assert len(ledger.entries) == recorded.num_iterations
+    assert ledger.samples > 0
+    # every entry got its measured cost back-filled
+    assert all(e["measured"] is not None for e in ledger.entries)
+
+
+def test_ledger_can_be_disabled(skewed_graph, source):
+    result = run_bfs(skewed_graph, source,
+                     config=GumConfig(ledger=False))
+    assert result.ledger is None
+
+
+def test_baselines_have_no_ledger(skewed_graph, source):
+    result = run_bfs(skewed_graph, source, engine="bsp")
+    assert result.ledger is None
+
+
+def test_recording_never_touches_virtual_time(skewed_graph, source):
+    with_ledger = run_bfs(skewed_graph, source)
+    without = run_bfs(skewed_graph, source,
+                      config=GumConfig(ledger=False))
+    assert with_ledger.total_seconds == without.total_seconds
+    assert with_ledger.num_iterations == without.num_iterations
+    assert np.array_equal(with_ledger.values, without.values)
+
+
+def test_repeated_runs_yield_identical_ledgers(skewed_graph, source):
+    first = run_bfs(skewed_graph, source).ledger
+    second = run_bfs(skewed_graph, source).ledger
+    assert json.dumps(first.as_dict(), sort_keys=True) == \
+        json.dumps(second.as_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# RMSRE reconstruction (the acceptance bar)
+
+
+def test_final_rmsre_reconstructs_bit_identically(recorded):
+    ledger = recorded.ledger
+    assert ledger.final_rmsre is not None
+    assert reconstruct_rmsre(ledger.entries) == ledger.final_rmsre
+
+
+def test_rmsre_survives_json_round_trip(recorded):
+    payload = json.loads(
+        json.dumps(recorded.ledger.as_dict(), sort_keys=True)
+    )
+    assert payload["schema"] == LEDGER_SCHEMA
+    revived = Ledger.from_dict(payload)
+    assert reconstruct_rmsre(revived.entries) == \
+        recorded.ledger.final_rmsre
+    assert revived.summary() == recorded.ledger.summary()
+
+
+def test_from_dict_rejects_unknown_schema(recorded):
+    payload = recorded.ledger.as_dict()
+    payload["schema"] = "repro-ledger/999"
+    with pytest.raises(LedgerError):
+        Ledger.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# amortization: cache hits are recorded, never skipped
+
+
+@pytest.fixture(scope="module")
+def sssp_pair(skewed_weighted, source):
+    amortized = repro.run(skewed_weighted, "sssp", num_gpus=4,
+                          source=source)
+    exact = repro.run(skewed_weighted, "sssp", num_gpus=4,
+                      source=source, gum_config=GumConfig(amortize=False))
+    return amortized, exact
+
+
+def test_amortized_run_records_every_decision(sssp_pair):
+    amortized, exact = sssp_pair
+    assert len(amortized.ledger.entries) == amortized.num_iterations
+    assert len(exact.ledger.entries) == exact.num_iterations
+
+
+def test_cache_hits_are_flagged_cached(sssp_pair):
+    amortized, exact = sssp_pair
+    hits = int(amortized.decision_stats.get("hits", 0))
+    assert amortized.ledger.cache_status_counts()["cached"] == hits
+    # exact mode never serves from the plan cache
+    off = exact.ledger.cache_status_counts()
+    assert off["cached"] == 0 and off["warm"] == 0
+
+
+# ---------------------------------------------------------------------------
+# chaos: evictions become attributable entries, not gaps
+
+
+def test_chaos_run_ledger_has_no_gaps(skewed_graph, source):
+    chaos = ChaosController(ChaosScenario(
+        faults=(FaultSpec("kill_worker", 1, {"worker": 2}),), seed=0,
+    ))
+    result = run_bfs(skewed_graph, source,
+                     config=GumConfig(cost_model="oracle"), chaos=chaos)
+    ledger = result.ledger
+    assert len(ledger.entries) == result.num_iterations
+    recorded_iters = [e["iteration"] for e in ledger.entries]
+    assert recorded_iters == [r.iteration for r in result.iterations]
+    faults = [f for f in ledger.faults if f["kind"] == "kill_worker"]
+    assert len(faults) == 1
+    assert faults[0]["worker"] == 2
+    assert faults[0]["heir"] is not None
+    # post-fault decisions never assign work to the dead GPU
+    fault_iter = faults[0]["iteration"]
+    for entry in ledger.entries:
+        if entry["iteration"] >= fault_iter:
+            assert all(s["worker"] != 2 for s in entry["samples"])
+
+
+def test_chaos_ledger_is_deterministic(skewed_graph, source):
+    def go():
+        chaos = ChaosController(ChaosScenario(
+            faults=(FaultSpec("kill_worker", 1, {"worker": 2}),),
+            seed=0,
+        ))
+        return run_bfs(skewed_graph, source,
+                       config=GumConfig(cost_model="oracle"),
+                       chaos=chaos).ledger
+    assert json.dumps(go().as_dict(), sort_keys=True) == \
+        json.dumps(go().as_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# skipped-sample accounting (OnlineRMSRE regression)
+
+
+def test_online_rmsre_counts_skipped_samples():
+    tracker = OnlineRMSRE()
+    tracker.update(1.0, 2.0)
+    tracker.update(1.0, 0.0)
+    tracker.update(1.0, -3.0)
+    assert tracker.count == 1
+    assert tracker.skipped == 2
+    assert "skipped=2" in repr(tracker)
+
+
+def test_ledger_counts_skipped_samples():
+    features = FrontierFeatures(
+        avg_in_degree=2.0, avg_out_degree=2.5, in_degree_range=1.0,
+        out_degree_range=1.0, gini=0.1, entropy=0.9, size=2,
+        total_edges=5,
+    )
+    ledger = Ledger()
+    ledger.begin(0, [5, 0])
+    ledger.record_sample(0, 0, features, 1e-6, 2e-6)
+    ledger.record_sample(1, 1, features, 1e-6, 0.0)
+    ledger.commit(group_size=2, active_workers=[0, 1],
+                  fsteal_applied=False, stolen_edges=0,
+                  migrated_vertices=0)
+    assert ledger.samples == 1
+    assert ledger.skipped_samples == 1
+    assert ledger.entries[0]["skipped"] == 1
+    # seal() cross-checks the arbitrator's own skip counter
+    with pytest.raises(LedgerError):
+        ledger.seal(None, skipped=7)
+
+
+# ---------------------------------------------------------------------------
+# training-pair export
+
+
+def test_export_samples_round_trips_through_fit(recorded):
+    X, y = recorded.ledger.export_samples()
+    assert X.shape == (recorded.ledger.samples, 6)
+    assert (y > 0).all()
+    model = MODEL_FAMILIES["polynomial"]()
+    model.fit(X, y)
+
+
+def test_export_samples_raises_when_empty():
+    with pytest.raises(LedgerError):
+        Ledger().export_samples()
+
+
+# ---------------------------------------------------------------------------
+# surfaces: summary, SLO indicators, explain
+
+
+def test_result_summary_carries_ledger_block(recorded):
+    summary = result_summary(recorded)
+    led = summary["ledger"]
+    assert led["entries"] == recorded.num_iterations
+    assert led["final_rmsre"] == recorded.ledger.final_rmsre
+    json.dumps(summary)  # must stay strictly JSON-serializable
+
+
+def test_slo_indicators_expose_drift(recorded):
+    summary = result_summary(recorded)
+    indicators = slo_indicators(summary, recorded.timeseries())
+    assert indicators["max_model_drift"] == \
+        recorded.ledger.summary()["max_model_drift"]
+    assert indicators["max_decision_error_p99"] == \
+        recorded.ledger.summary()["decision_error_p99"]
+    # pre-ledger manifests degrade to None, not KeyError
+    bare = slo_indicators({"stall_fraction": 0.1}, {})
+    assert bare["max_model_drift"] is None
+    assert bare["max_decision_error_p99"] is None
+
+
+def test_explain_reports_bit_identical_rmsre(recorded):
+    lines = explain_lines(recorded.ledger)
+    text = "\n".join(lines)
+    assert "bit-identical" in text
+    assert "MISMATCH" not in text
+    assert f"{len(recorded.ledger.entries)} decisions" in text
+
+
+def test_explain_iteration_drilldown(recorded):
+    target = recorded.ledger.entries[0]["iteration"]
+    text = "\n".join(explain_lines(recorded.ledger, iteration=target))
+    assert "workloads" in text
+    assert "fragment" in text
+    with pytest.raises(LedgerError):
+        explain_lines(recorded.ledger, iteration=10**9)
+
+
+# ---------------------------------------------------------------------------
+# registry: archived ledgers
+
+
+def test_registry_round_trips_ledger(tmp_path, recorded):
+    from repro.runs import RunRegistry, workload_fingerprint
+
+    registry = RunRegistry(tmp_path)
+    run_id = registry.record_result(
+        recorded,
+        workload_fingerprint("gum", "bfs", "skewed", 4),
+    )
+    payload = registry.load_ledger(run_id)
+    assert payload["schema"] == LEDGER_SCHEMA
+    revived = Ledger.from_dict(payload)
+    assert reconstruct_rmsre(revived.entries) == \
+        recorded.ledger.final_rmsre
+    manifest = registry.load_manifest(run_id)
+    assert "ledger.json" in manifest["files"]
+
+
+def test_registry_missing_ledger_is_an_error(tmp_path, skewed_graph,
+                                             source):
+    from repro.errors import RunRegistryError
+    from repro.runs import RunRegistry, workload_fingerprint
+
+    registry = RunRegistry(tmp_path)
+    result = run_bfs(skewed_graph, source, engine="bsp")
+    run_id = registry.record_result(
+        result, workload_fingerprint("bsp", "bfs", "skewed", 4),
+    )
+    assert "ledger.json" not in registry.load_manifest(run_id)["files"]
+    with pytest.raises(RunRegistryError):
+        registry.load_ledger(run_id)
