@@ -76,10 +76,23 @@ class PageRank(GASAlgorithm):
         contrib = np.where(aux["dangling"], 0.0, rank / np.maximum(out_deg, 1))
         sums = np.zeros(n)
         # Dense round: every edge carries its source's contribution.
-        sources = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(graph.indptr)
-        )
-        np.add.at(sums, graph.indices, contrib[sources])
+        iter_shards = getattr(graph, "iter_edge_shards", None)
+        if iter_shards is not None:
+            # out-of-core graph: stream the edge scan shard by shard.
+            # np.add.at accumulates element-by-element in edge order,
+            # so consecutive per-shard applications are bit-identical
+            # to one pass over the concatenated arrays.
+            for v_start, v_stop, __, indices, __w in iter_shards():
+                sources = np.repeat(
+                    np.arange(v_start, v_stop, dtype=np.int64),
+                    np.diff(graph.indptr[v_start: v_stop + 1]),
+                )
+                np.add.at(sums, indices, contrib[sources])
+        else:
+            sources = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+            )
+            np.add.at(sums, graph.indices, contrib[sources])
         if aux["redistribute"]:
             dangling_mass = float(rank[aux["dangling"]].sum())
             sums = sums + dangling_mass / max(1, n)

@@ -61,6 +61,13 @@ class SerialSession(ExecutionSession):
         """One in-process superstep (reuses the memoized gather)."""
         return algorithm.step(graph, state)
 
+    def stats(self) -> Optional[dict]:
+        """Shard-cache counters when the graph is out-of-core."""
+        cache_stats = getattr(self._graph, "cache_stats", None)
+        if cache_stats is None:
+            return None
+        return {"backend": "serial", "shard_cache": cache_stats()}
+
 
 class SerialBackend(ExecutionBackend):
     """Factory for :class:`SerialSession` (no external resources)."""

@@ -5,8 +5,9 @@ One resident store, many workers — the coordinator maps the CSR arrays
 value array, and a per-iteration frontier buffer into
 :mod:`multiprocessing.shared_memory` blocks, spawns one persistent
 worker process per virtual GPU (``spawn`` start method, workers live
-for the whole run), and per iteration sends each fragment's frontier
-slice as a small task descriptor over a per-worker queue. Workers
+for the whole run), and per iteration sends each worker a single
+batch of small task descriptors — one per fragment it serves, reused
+across iterations — over its queue. Workers
 expand the adjacency once per task and return (a) the cross-worker
 message statistics the coordinator's virtual-time pricing needs and
 (b), for algorithms whose superstep is exactly mergeable
@@ -80,6 +81,17 @@ class SharedMemorySession(ExecutionSession):
         self._partials_view: Optional[np.ndarray] = None
         self._pending: Optional[List[int]] = None
         self._collected_iteration: Optional[int] = None
+        # dispatch fast path: one reusable descriptor per fragment and
+        # one reusable batch list per worker, so a superstep's dispatch
+        # is field writes plus a single queue put per busy worker
+        self._task_pool: List[WorkerTask] = [
+            WorkerTask(iteration=-1, fragment=fragment, offset=0,
+                       count=0, aggregate=True, relax=True)
+            for fragment in range(partition.num_fragments)
+        ]
+        self._worker_batches: List[List[WorkerTask]] = [
+            [] for _ in range(partition.num_fragments)
+        ]
         self._partials: dict = {}
         self._closed = False
         self._stats = {
@@ -105,11 +117,16 @@ class SharedMemorySession(ExecutionSession):
 
     def _start(self, graph, partition, algorithm, state) -> None:
         started = time.perf_counter()
-        __, indptr_spec = self._share(graph.indptr)
-        __, indices_spec = self._share(graph.indices)
-        weights_spec = None
-        if graph.weights is not None:
-            __, weights_spec = self._share(graph.weights)
+        shard_path = getattr(graph, "source_path", None)
+        indptr_spec = indices_spec = weights_spec = None
+        if shard_path is None:
+            __, indptr_spec = self._share(graph.indptr)
+            __, indices_spec = self._share(graph.indices)
+            if graph.weights is not None:
+                __, weights_spec = self._share(graph.weights)
+        # sharded graphs skip the |E|-sized shared blocks entirely:
+        # each worker reopens the shard directory and pages what it
+        # touches under its own resident budget
         __, owner_spec = self._share(partition.owner)
         self._frontier_view, frontier_spec = self._share(
             np.zeros(max(1, graph.num_vertices), dtype=np.int64)
@@ -141,6 +158,10 @@ class SharedMemorySession(ExecutionSession):
             directed=graph.directed,
             graph_name=graph.name,
             algorithm=algorithm,
+            shard_path=None if shard_path is None else str(shard_path),
+            shard_resident_bytes=int(
+                getattr(graph, "resident_budget_bytes", 0) or 0
+            ),
         )
         ctx = multiprocessing.get_context("spawn")
         self._result_queue = ctx.Queue()
@@ -210,25 +231,30 @@ class SharedMemorySession(ExecutionSession):
             )
         started = time.perf_counter()
         aggregate = bool(context.extras.get("aggregate_messages", True))
+        num_workers = len(self._task_queues)
         offset = 0
         pending = []
+        # reuse is safe here: begin_iteration refuses to run while the
+        # previous iteration is uncollected, and collected results mean
+        # the previous batch was already pickled and delivered
+        for batch in self._worker_batches:
+            batch.clear()
         for fragment, frontier in enumerate(fragment_frontiers):
             count = frontier.size
             if count == 0:
                 continue
             self._frontier_view[offset: offset + count] = frontier.vertices
-            self._task_queues[fragment % len(self._task_queues)].put(
-                WorkerTask(
-                    iteration=iteration,
-                    fragment=fragment,
-                    offset=offset,
-                    count=count,
-                    aggregate=aggregate,
-                    relax=True,
-                )
-            )
+            task = self._task_pool[fragment]
+            task.iteration = iteration
+            task.offset = offset
+            task.count = count
+            task.aggregate = aggregate
+            self._worker_batches[fragment % num_workers].append(task)
             offset += count
             pending.append(fragment)
+        for worker, batch in enumerate(self._worker_batches):
+            if batch:
+                self._task_queues[worker].put(batch)
         self._pending = pending
         self._collected_iteration = None
         self._stats["tasks"] += len(pending)
@@ -330,7 +356,11 @@ class SharedMemorySession(ExecutionSession):
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Host-side execution statistics (coordination overhead)."""
-        return dict(self._stats)
+        stats = dict(self._stats)
+        cache_stats = getattr(self._graph, "cache_stats", None)
+        if cache_stats is not None:
+            stats["shard_cache"] = cache_stats()
+        return stats
 
     def close(self, state: "Optional[AlgorithmState]" = None) -> None:
         """Stop workers and unlink every shared block (idempotent)."""

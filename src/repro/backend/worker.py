@@ -47,8 +47,8 @@ __all__ = ["WorkerSpec", "WorkerTask", "worker_main"]
 class WorkerSpec:
     """Everything a spawned worker needs, in picklable form."""
 
-    indptr: SharedArraySpec
-    indices: SharedArraySpec
+    indptr: Optional[SharedArraySpec]
+    indices: Optional[SharedArraySpec]
     weights: Optional[SharedArraySpec]
     owner: SharedArraySpec
     frontier: SharedArraySpec
@@ -58,11 +58,22 @@ class WorkerSpec:
     directed: bool
     graph_name: str
     algorithm: object  # GASAlgorithm instance (stateless, picklable)
+    #: out-of-core path: instead of attaching shared CSR blocks, the
+    #: worker reopens the sharded graph directory (its own mmap-backed
+    #: shard cache — no |E|-sized shared block is ever created)
+    shard_path: Optional[str] = None
+    shard_resident_bytes: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass
 class WorkerTask:
-    """One fragment's work for one iteration."""
+    """One fragment's work for one iteration.
+
+    Mutable on purpose: the coordinator keeps one descriptor per
+    fragment and rewrites it each iteration instead of allocating
+    fresh ones (queue puts pickle a snapshot, so reuse is safe once
+    the previous iteration's results are in).
+    """
 
     iteration: int
     fragment: int
@@ -77,16 +88,26 @@ class _WorkerRuntime:
 
     def __init__(self, spec: WorkerSpec) -> None:
         self._blocks = []  # keep SharedMemory objects alive
-        self._graph = CSRGraph(
-            self._attach(spec.indptr),
-            self._attach(spec.indices),
-            weights=(
-                self._attach(spec.weights)
-                if spec.weights is not None else None
-            ),
-            directed=spec.directed,
-            name=spec.graph_name,
-        )
+        if spec.shard_path is not None:
+            # local import: io_npz pulls in the partition module, which
+            # spawned workers otherwise never need
+            from repro.graph.io_npz import open_graph_sharded
+
+            self._graph = open_graph_sharded(
+                spec.shard_path,
+                resident_bytes=spec.shard_resident_bytes or (256 << 20),
+            )
+        else:
+            self._graph = CSRGraph(
+                self._attach(spec.indptr),
+                self._attach(spec.indices),
+                weights=(
+                    self._attach(spec.weights)
+                    if spec.weights is not None else None
+                ),
+                directed=spec.directed,
+                name=spec.graph_name,
+            )
         self._owner = self._attach(spec.owner)
         self._frontier_buf = self._attach(spec.frontier)
         self._values = (
@@ -171,10 +192,13 @@ def worker_main(worker_id: int, spec: WorkerSpec,
         return
     while True:
         try:
-            task = task_queue.get()
-            if task is None:
+            batch = task_queue.get()
+            if batch is None:
                 return
-            result_queue.put(runtime.run_task(task))
+            # one queue message carries all of this worker's fragment
+            # tasks for the iteration (dispatch batching)
+            for task in batch:
+                result_queue.put(runtime.run_task(task))
         except Exception:
             result_queue.put(("error", worker_id, traceback.format_exc()))
             return

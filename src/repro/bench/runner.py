@@ -49,6 +49,7 @@ def run_cell(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     chaos=None,
+    topology=None,
 ) -> RunResult:
     """Execute one benchmark cell and return its result."""
     graph = prepare_graph(cell.graph, cell.algorithm)
@@ -57,7 +58,7 @@ def run_cell(
     )
     engine = make_engine(
         cell.engine, cell.num_gpus, gum_config=gum_config, options=options,
-        tracer=tracer, metrics=metrics, chaos=chaos,
+        tracer=tracer, metrics=metrics, chaos=chaos, topology=topology,
     )
     params = algorithm_params(cell.algorithm, cell.graph)
     return engine.run(

@@ -19,7 +19,7 @@ from repro.core import GumConfig, GumEngine
 from repro.errors import EngineError
 from repro.graph import datasets, symmetrize, with_random_weights
 from repro.graph.csr import CSRGraph
-from repro.hardware import dgx1
+from repro.hardware import Topology, dgx1
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.partition import Partition, make_partition
@@ -106,6 +106,7 @@ def make_engine(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     chaos=None,
+    topology: Optional[Topology] = None,
 ):
     """Engine factory for the benchmark matrix.
 
@@ -115,9 +116,18 @@ def make_engine(
     and/or metrics registry attaches to any of them; a
     :class:`~repro.chaos.ChaosController` attaches to every BSP-based
     engine (Groute's asynchronous runtime has no superstep boundary to
-    inject at, so it rejects chaos).
+    inject at, so it rejects chaos). An explicit ``topology`` (e.g. a
+    :func:`repro.hardware.cluster` preset) replaces the default
+    ``num_gpus``-GPU DGX-1 sub-topology; its GPU count must equal
+    ``num_gpus`` since the partition is built for that many workers.
     """
-    topology = dgx1(num_gpus)
+    if topology is None:
+        topology = dgx1(num_gpus)
+    elif topology.num_gpus != num_gpus:
+        raise EngineError(
+            f"topology {topology.name!r} carries {topology.num_gpus} "
+            f"GPUs but the benchmark cell asks for {num_gpus}"
+        )
     obs = {"tracer": tracer, "metrics": metrics}
     if chaos is not None:
         if name == "groute":

@@ -282,6 +282,7 @@ def _workload_from_args(args: argparse.Namespace, engine: str) -> dict:
         cost_model=args.cost_model,
         amortize=not args.no_amortize,
         chaos=chaos.scenario.name if chaos is not None else "none",
+        topology=getattr(args, "topology", None) or "default",
     )
 
 
@@ -302,6 +303,20 @@ def _maybe_record(
     )
 
 
+def _topology_from_args(args: argparse.Namespace):
+    """Resolve ``--topology``; a cluster selector also sets the GPU
+    count (``args.gpus`` feeds the cell, fingerprint, and trace meta).
+    """
+    spec = getattr(args, "topology", None)
+    if spec is None:
+        return None
+    from repro.hardware import parse_topology
+
+    topology = parse_topology(spec)
+    args.gpus = topology.num_gpus
+    return topology
+
+
 def _run_one(
     args: argparse.Namespace,
     engine: str,
@@ -312,6 +327,7 @@ def _run_one(
     options = (
         EngineOptions(backend=backend) if backend != "serial" else None
     )
+    topology = _topology_from_args(args)
     return run_cell(
         Cell(engine, args.algorithm, args.graph, args.gpus,
              args.partitioner),
@@ -320,10 +336,12 @@ def _run_one(
         tracer=tracer,
         metrics=metrics,
         chaos=_chaos_from_args(args),
+        topology=topology,
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _topology_from_args(args)  # fix args.gpus before the trace meta
     tracer, metrics = _make_observers(
         args, args.engine, args.trace, stream_target=_stream_target(args)
     )
@@ -576,6 +594,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(f"gate: ok (no case regressed >{threshold:.0%} vs "
           f"{args.baseline})")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Run the out-of-core ``scale.*`` suite; gate against its baseline.
+
+    Exit code 1 means a case broke an invariant (bit-identity, shard
+    budget, 25% wall overhead, inter-node stealing) or its
+    deterministic virtual ms-per-edge drifted from the committed
+    baseline (see ``docs/performance.md``).
+    """
+    from repro.bench import scale
+
+    if args.list_cases:
+        for name in sorted(scale.SCALE_CASES):
+            print(name)
+        return 0
+    try:
+        report = scale.run_scale_suite(names=args.filter)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_path = _trace_path(args.out)
+    scale.write_scale_report(report, out_path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(scale.format_scale_report(report))
+        print(f"report: {out_path}")
+    if args.update_baseline:
+        scale.write_scale_report(report, _trace_path(args.baseline))
+        print(f"baseline refreshed: {args.baseline}")
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {args.baseline}; skipping the gate "
+              "(run with --update-baseline to create one)")
+        return 0
+    problems = scale.compare_scale_reports(
+        report, scale.load_scale_report(baseline_path)
+    )
+    if problems:
+        for problem in problems:
+            print(f"scale gate: {problem}", file=sys.stderr)
+        return 1
+    print(f"gate: ok ({len(report['cases'])} case(s) vs {args.baseline})")
     return 0
 
 
@@ -875,6 +939,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "shared-memory buffers); never changes results or "
                  "virtual time (see docs/performance.md)",
         )
+        p.add_argument(
+            "--topology", metavar="SPEC", default=None,
+            help="machine shape: 'nodes=NxG' (e.g. nodes=2x4) for an "
+                 "N-node cluster of G-GPU servers with two-level "
+                 "hierarchical stealing; default is the --gpus DGX-1 "
+                 "sub-topology. When given, the worker count is N*G "
+                 "and --gpus is ignored",
+        )
         p.add_argument("--json", action="store_true",
                        help="emit a JSON summary")
         p.add_argument(
@@ -1017,6 +1089,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the report JSON instead of a table")
     add_record_args(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="run the out-of-core sharded scale.* suite and gate "
+             "against the committed baseline",
+    )
+    p_scale.add_argument(
+        "--out", metavar="PATH", default="BENCH_scale.json",
+        help="machine-readable report output (default: %(default)s)",
+    )
+    p_scale.add_argument(
+        "--baseline", metavar="PATH",
+        default="benchmarks/scale/baseline.json",
+        help="committed baseline to gate against (default: %(default)s)",
+    )
+    p_scale.add_argument(
+        "--filter", action="append", default=None, metavar="SUBSTR",
+        help="only run cases whose name contains SUBSTR (repeatable)",
+    )
+    p_scale.add_argument(
+        "--list-cases", action="store_true",
+        help="print the registered case names and exit",
+    )
+    p_scale.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the fresh report over --baseline instead of "
+             "comparing against it",
+    )
+    p_scale.add_argument("--json", action="store_true",
+                         help="print the report JSON instead of a table")
+    p_scale.set_defaults(func=_cmd_scale)
 
     p_runs = sub.add_parser(
         "runs",

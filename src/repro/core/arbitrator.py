@@ -48,7 +48,7 @@ from repro.core.decision_cache import (
 from repro.core.hubcache import HubCache
 from repro.core.milp import FStealProblem, FStealSolution, make_solver
 from repro.core.osteal import plan_osteal
-from repro.core.reduction_tree import ReductionTree
+from repro.core.reduction_tree import ReductionTree, make_reduction_tree
 from repro.errors import EngineError
 from repro.hardware.microbench import measure_comm_cost_matrix
 from repro.obs.ledger import Ledger
@@ -202,6 +202,12 @@ class _RunState:
     # --- decision ledger ----------------------------------------------
     ledger: Optional[Ledger] = None
     ledger_instruments: Optional[tuple] = None
+    # --- hierarchical two-level stealing ------------------------------
+    # GPU -> node assignment and per-node representative ids, set only
+    # on multi-node topologies; None keeps single-node planning
+    # bit-identical to the flat policy
+    worker_nodes: Optional[np.ndarray] = None
+    node_reps: Optional[List[int]] = None
 
 
 class _EvictedTree:
@@ -221,7 +227,15 @@ class _EvictedTree:
         self._heirs = dict(heirs)
         self._num_gpus = topology.num_gpus
         self._local = {w: i for i, w in enumerate(self._alive)}
-        self._inner = ReductionTree(topology.subset(self._alive))
+        self._inner = make_reduction_tree(topology.subset(self._alive))
+
+    @property
+    def representatives(self) -> List[int]:
+        """Per-node representative ids in *original* numbering."""
+        inner_reps = getattr(self._inner, "representatives", None)
+        if inner_reps is None:
+            return []
+        return sorted(self._alive[int(r)] for r in inner_reps)
 
     def _resolve(self, worker: int) -> int:
         # death is monotone within a run, so the chain cannot cycle
@@ -324,7 +338,7 @@ class GumScheduler(Scheduler):
             solver = FallbackSolver(self._solver, context.chaos)
         self._state = _RunState(
             comm_cost=comm_cost,
-            tree=ReductionTree(topology),
+            tree=make_reduction_tree(topology),
             hub_cache=hub_cache,
             solver=solver,
             active=list(range(topology.num_gpus)),
@@ -353,6 +367,13 @@ class GumScheduler(Scheduler):
                 else None
             ),
         )
+        if topology.num_nodes > 1:
+            self._state.worker_nodes = np.asarray(
+                topology.node_assignment, dtype=np.int64
+            )
+            self._state.node_reps = list(
+                getattr(self._state.tree, "representatives", [])
+            )
         # initial p guess: one sync with everyone, spread per worker
         self._state.p_estimate = context.timing.sync_seconds(
             topology.num_gpus
@@ -490,6 +511,8 @@ class GumScheduler(Scheduler):
                         cost_model,
                         context.fragment_home,
                         allowed_workers=state.active,
+                        worker_nodes=state.worker_nodes,
+                        node_representatives=state.node_reps,
                     )
                     problem = FStealProblem(costs_used, workloads)
                     if self._config.amortize:
@@ -559,7 +582,7 @@ class GumScheduler(Scheduler):
             # owner-local processing instead of the enumerated X.
             fsteal_solution = None
 
-        chunks, stolen_edges, migrated = self._realize(
+        chunks, stolen_edges, migrated, inter_node_stolen = self._realize(
             context, fragment_frontiers, workloads, fsteal_solution
         )
 
@@ -594,6 +617,7 @@ class GumScheduler(Scheduler):
                 fsteal_applied=fsteal_applied,
                 stolen_edges=stolen_edges,
                 migrated_vertices=migrated,
+                inter_node_stolen_edges=inter_node_stolen,
             )
             if metrics.enabled:
                 self._publish_ledger_metrics(metrics, ledger, iteration)
@@ -672,6 +696,8 @@ class GumScheduler(Scheduler):
                 state.p_estimate,
                 candidate_sizes=sizes,
                 tracer=tracer,
+                worker_nodes=state.worker_nodes,
+                node_representatives=state.node_reps,
             )
         # z(m) reuse is sound only while the decision inputs are the
         # same up to tolerance: fingerprint the workload vector, the
@@ -706,6 +732,8 @@ class GumScheduler(Scheduler):
             z_cache=z_cache,
             start_size=state.group_size or None,
             solve=self._amortized_solve,
+            worker_nodes=state.worker_nodes,
+            node_representatives=state.node_reps,
         )
         state.osteal_z_reused += decision.reused_sizes
         state.osteal_z_evaluated += decision.evaluated_sizes
@@ -965,9 +993,14 @@ class GumScheduler(Scheduler):
             )
         alive = chaos.alive_workers()
         if len(alive) == topology.num_gpus:
-            state.tree = ReductionTree(topology)
+            state.tree = make_reduction_tree(topology)
         else:
             state.tree = _EvictedTree(topology, alive, state.heirs)
+        if state.worker_nodes is not None:
+            reps = getattr(state.tree, "representatives", None)
+            # a machine degraded to a single surviving node has no
+            # hierarchical fold left: every survivor may steal freely
+            state.node_reps = list(reps) if reps else list(alive)
         # z(m) memos and the OSteal backoff price the *old* machine;
         # force a fresh evaluation at the next opportunity
         state.osteal_z = LruDict(16)
@@ -1029,12 +1062,12 @@ class GumScheduler(Scheduler):
         fragment_frontiers: Sequence[Frontier],
         workloads: np.ndarray,
         fsteal_solution,
-    ) -> tuple[List[WorkChunk], int, int]:
+    ) -> tuple[List[WorkChunk], int, int, int]:
         """Turn the decision into engine chunks; count stolen work."""
         graph = context.graph
         state = self._state
         metrics = context.metrics
-        steal_pairs = remote_edges = hub_hits = None
+        steal_pairs = remote_edges = hub_hits = inter_counter = None
         if metrics.enabled:
             steal_pairs = metrics.counter(
                 "steal.edges_by_pair",
@@ -1048,9 +1081,16 @@ class GumScheduler(Scheduler):
                 "hubcache.hit_edges",
                 "stolen edges served from the local hub cache",
             )
+            if state.worker_nodes is not None:
+                inter_counter = metrics.counter(
+                    "steal.inter_node_edges",
+                    "stolen edges crossing the inter-node fabric",
+                )
+        worker_nodes = state.worker_nodes
         chunks: List[WorkChunk] = []
         stolen_edges = 0
         migrated = 0
+        inter_node_stolen = 0
         if fsteal_solution is None:
             for fragment, frontier in enumerate(fragment_frontiers):
                 if not frontier and workloads[fragment] == 0:
@@ -1071,12 +1111,18 @@ class GumScheduler(Scheduler):
                 if worker != home:
                     stolen_edges += int(workloads[fragment])
                     migrated += frontier.size
+                    if (worker_nodes is not None
+                            and worker_nodes[home]
+                            != worker_nodes[worker]):
+                        inter_node_stolen += int(workloads[fragment])
+                        if inter_counter is not None:
+                            inter_counter.inc(int(workloads[fragment]))
                     if steal_pairs is not None:
                         steal_pairs.inc(int(workloads[fragment]),
                                         home=home, worker=worker)
                         remote_edges.inc(int(workloads[fragment]))
                         hub_hits.inc(hub)
-            return chunks, stolen_edges, migrated
+            return chunks, stolen_edges, migrated, inter_node_stolen
 
         for fragment, frontier in enumerate(fragment_frontiers):
             if not frontier and workloads[fragment] == 0:
@@ -1101,12 +1147,18 @@ class GumScheduler(Scheduler):
                 if item.worker != home:
                     stolen_edges += item.edges
                     migrated += item.vertices.size
+                    if (worker_nodes is not None
+                            and worker_nodes[home]
+                            != worker_nodes[item.worker]):
+                        inter_node_stolen += item.edges
+                        if inter_counter is not None:
+                            inter_counter.inc(item.edges)
                     if steal_pairs is not None:
                         steal_pairs.inc(item.edges, home=home,
                                         worker=item.worker)
                         remote_edges.inc(item.edges)
                         hub_hits.inc(hub)
-        return chunks, stolen_edges, migrated
+        return chunks, stolen_edges, migrated, inter_node_stolen
 
     @staticmethod
     def _fragment_assignments(

@@ -77,6 +77,8 @@ def plan_osteal(
     z_cache: Optional[MutableMapping[int, float]] = None,
     start_size: Optional[int] = None,
     solve: Optional[Callable[[FStealProblem], FStealSolution]] = None,
+    worker_nodes: Optional[np.ndarray] = None,
+    node_representatives: Optional[Sequence[int]] = None,
 ) -> OStealDecision:
     """Algorithm 2: enumerate group sizes, return the cheapest policy.
 
@@ -121,6 +123,11 @@ def plan_osteal(
         (defaults to ``solver.solve``); the scheduler routes this
         through its plan cache so OSteal evaluations are amortized
         too.
+    worker_nodes / node_representatives:
+        Hierarchical two-level constraint, forwarded to
+        :func:`~repro.core.fsteal.build_cost_matrix`: inter-node
+        steals are restricted to per-node representatives in every
+        ``z(m)`` evaluation.
     """
     num_workers = comm_cost.shape[0]
     sizes = (
@@ -139,6 +146,8 @@ def plan_osteal(
             cost_model,
             fragment_home,
             allowed_workers=active,
+            worker_nodes=worker_nodes,
+            node_representatives=node_representatives,
         )
         return solve(FStealProblem(costs, workloads)), costs
 

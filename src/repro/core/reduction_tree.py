@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import TopologyError
 from repro.hardware.topology import Topology
 
-__all__ = ["ReductionTree"]
+__all__ = ["ReductionTree", "HierarchicalReductionTree", "make_reduction_tree"]
 
 
 class ReductionTree:
@@ -115,6 +115,109 @@ class ReductionTree:
                 active.discard(victim)
             self._cache[group_size] = (ownership, sorted(active))
         return self._cache[group_size]
+
+
+class HierarchicalReductionTree(ReductionTree):
+    """Two-level folding order for a multi-node cluster.
+
+    A flat fold at 16 GPUs would brute-force ~2M matchings per level
+    and let the greedy matcher pair GPUs across the (narrow) IB
+    fabric. The hierarchy avoids both: each node folds internally with
+    level-synchronous NVLink matchings (at most 8-GPU instances), then
+    the surviving per-node *representatives* fold over the inter-node
+    rails. The representative set is what the two-level FSteal policy
+    gates on — inter-node steals route only through a node's
+    representative.
+
+    Single-node topologies reduce to the flat :class:`ReductionTree`
+    fold bit for bit.
+    """
+
+    def _build(self) -> List[Tuple[int, int]]:
+        topology = self._topology
+        if topology.num_nodes == 1:
+            merges = super()._build()
+            # flat machines have one trivial "node": its representative
+            # is the fold's final survivor
+            survivor = set(range(self._n))
+            for victim, __ in merges:
+                survivor.discard(victim)
+            self._representatives = sorted(survivor)
+            return merges
+        lanes = topology.lane_matrix
+        merges: List[Tuple[int, int]] = []
+        survivors = [
+            list(topology.node_members(u))
+            for u in range(topology.num_nodes)
+        ]
+        # level-synchronous intra-node folds: every node runs one
+        # matching round per level, nodes in ascending order
+        while any(len(s) > 1 for s in survivors):
+            for node_survivors in survivors:
+                if len(node_survivors) <= 1:
+                    continue
+                pairs = _max_weight_matching(node_survivors, lanes)
+
+                def loss(pair: Tuple[int, int]) -> int:
+                    victim = self._pick_victim(
+                        pair, node_survivors, lanes
+                    )
+                    return int(sum(
+                        lanes[victim, s]
+                        for s in node_survivors if s != victim
+                    ))
+
+                for a, b in sorted(pairs, key=loss):
+                    victim = self._pick_victim(
+                        (a, b), node_survivors, lanes
+                    )
+                    thief = b if victim == a else a
+                    merges.append((victim, thief))
+                    node_survivors.remove(victim)
+        representatives = [s[0] for s in survivors]
+        self._representatives = sorted(representatives)
+        # representatives fold over the IB fabric: same greedy
+        # matching, weighted by the node pair's rail count
+        rep_lanes = np.zeros((self._n, self._n), dtype=np.int64)
+        inter = topology.inter_node_lane_matrix
+        for u, rep_u in enumerate(representatives):
+            for v, rep_v in enumerate(representatives):
+                if u != v:
+                    rep_lanes[rep_u, rep_v] = inter[u, v]
+        rep_survivors = sorted(representatives)
+        while len(rep_survivors) > 1:
+            pairs = _max_weight_matching(rep_survivors, rep_lanes)
+
+            def rep_loss(pair: Tuple[int, int]) -> int:
+                victim = self._pick_victim(pair, rep_survivors, rep_lanes)
+                return int(sum(
+                    rep_lanes[victim, s]
+                    for s in rep_survivors if s != victim
+                ))
+
+            for a, b in sorted(pairs, key=rep_loss):
+                victim = self._pick_victim((a, b), rep_survivors, rep_lanes)
+                thief = b if victim == a else a
+                merges.append((victim, thief))
+                rep_survivors.remove(victim)
+        return merges
+
+    @property
+    def representatives(self) -> List[int]:
+        """Sorted per-node representative GPU ids (one per node)."""
+        return list(self._representatives)
+
+
+def make_reduction_tree(topology: Topology) -> ReductionTree:
+    """The fold matching a topology's shape.
+
+    Multi-node clusters get the two-level
+    :class:`HierarchicalReductionTree`; flat machines keep the paper's
+    :class:`ReductionTree` unchanged.
+    """
+    if topology.num_nodes > 1:
+        return HierarchicalReductionTree(topology)
+    return ReductionTree(topology)
 
 
 def _max_weight_matching(

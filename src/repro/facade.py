@@ -24,7 +24,7 @@ from repro.core import GumConfig, GumEngine
 from repro.errors import EngineError
 from repro.graph.builders import symmetrize
 from repro.graph.csr import CSRGraph
-from repro.hardware.topology import dgx1
+from repro.hardware.topology import Topology, parse_topology
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.partition.partitioners import make_partition
@@ -45,6 +45,7 @@ def run(
     metrics: Optional[MetricsRegistry] = None,
     chaos=None,
     backend: str = "serial",
+    topology: Optional[Union[str, Topology]] = None,
     **params,
 ) -> RunResult:
     """Partition, schedule, and execute one algorithm in a single call.
@@ -77,6 +78,12 @@ def run(
         ``shmem`` (one worker process per virtual GPU over
         shared-memory graph buffers; BSP-style engines only). Never
         changes results or virtual time — see ``docs/performance.md``.
+    topology:
+        Machine shape: ``None`` (the ``num_gpus``-GPU DGX-1
+        sub-topology), a :class:`~repro.hardware.Topology`, or a
+        selector string like ``"nodes=2x4"`` (a 2-node cluster of
+        4-GPU servers; the worker count then comes from the topology
+        and two-level hierarchical stealing activates).
     params:
         Algorithm init parameters (``source=...`` etc.).
 
@@ -89,8 +96,14 @@ def run(
         algorithm = make_algorithm(algorithm)
     if algorithm.needs_symmetric and graph.directed:
         graph = symmetrize(graph).with_name(graph.name)
+    if topology is None:
+        topology = parse_topology(None, num_gpus)
+    else:
+        # an explicit topology defines the worker count; num_gpus is
+        # ignored (its default of 8 can't be told apart from a request)
+        topology = parse_topology(topology)
+        num_gpus = topology.num_gpus
     partition = make_partition(partitioner, graph, num_gpus, seed=seed)
-    topology = dgx1(num_gpus)
     obs = {"tracer": tracer, "metrics": metrics}
     if chaos is not None:
         if engine == "groute":

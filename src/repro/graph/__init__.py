@@ -5,7 +5,7 @@ Public surface of the graph subpackage::
     from repro.graph import CSRGraph, from_edges, rmat, degree_summary
 """
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, ShardedCSRGraph
 from repro.graph.builders import (
     coalesce_duplicates,
     from_edge_arrays,
@@ -50,13 +50,16 @@ from repro.graph.gather import gather_edge_positions, gather_edges
 from repro.graph.io_npz import (
     load_graph,
     load_partition,
+    open_graph_sharded,
     save_graph,
+    save_graph_sharded,
     save_partition,
 )
 from repro.graph.datasets import DATASETS, DatasetSpec, dataset_names, load
 
 __all__ = [
     "CSRGraph",
+    "ShardedCSRGraph",
     "from_edges",
     "from_edge_arrays",
     "symmetrize",
@@ -99,6 +102,8 @@ __all__ = [
     "gather_edge_positions",
     "save_graph",
     "load_graph",
+    "save_graph_sharded",
+    "open_graph_sharded",
     "save_partition",
     "load_partition",
 ]

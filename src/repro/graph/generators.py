@@ -50,6 +50,18 @@ def _rng(seed: Optional[int]) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _rng_at(seed: int, offset: int) -> np.random.Generator:
+    """The ``default_rng(seed)`` stream advanced by ``offset`` draws.
+
+    PCG64 consumes one 64-bit step per ``random()`` double, so a
+    chunked generator can replay any slice of the one-shot draw
+    sequence without materializing the draws before it.
+    """
+    bits = np.random.PCG64(seed)
+    bits.advance(offset)
+    return np.random.Generator(bits)
+
+
 def rmat(
     scale: int,
     edge_factor: int = 16,
@@ -59,6 +71,7 @@ def rmat(
     seed: Optional[int] = 0,
     undirected: bool = False,
     name: str = "rmat",
+    edge_batch: Optional[int] = None,
 ) -> CSRGraph:
     """Generate an R-MAT (recursive matrix) graph.
 
@@ -66,32 +79,69 @@ def rmat(
     before dedup. The default ``(a, b, c)`` are the Graph500 parameters,
     producing the heavy-tailed degree distribution typical of social
     networks. Self-loops and duplicate edges are removed.
+
+    ``edge_batch`` bounds the per-bit temporary arrays: edges are drawn
+    in chunks of that size, with each chunk replaying its exact slice
+    of the one-shot RNG stream — the result is bit-identical to
+    ``edge_batch=None`` for the same seed (a scale-20 graph's working
+    set drops from several |E|-sized doubles to a few batch-sized
+    ones).
     """
     if scale < 1 or scale > 30:
         raise GraphError("rmat scale must be in [1, 30]")
     if not (0 < a and 0 <= b and 0 <= c and a + b + c < 1):
         raise GraphError("rmat probabilities must satisfy a+b+c < 1")
-    rng = _rng(seed)
     n = 1 << scale
     m = edge_factor * n
+    if edge_batch is not None:
+        if edge_batch < 1:
+            raise GraphError("rmat edge_batch must be >= 1")
+        if seed is None:
+            raise GraphError(
+                "rmat edge_batch needs a concrete seed: chunked "
+                "generation replays slices of the seeded RNG stream"
+            )
     src = np.zeros(m, dtype=np.int64)
     dst = np.zeros(m, dtype=np.int64)
-    # Each bit of the vertex id is drawn independently per quadrant.
-    for bit in range(scale):
-        r = rng.random(m)
-        go_right = r >= a + b  # bottom half of the recursion square
-        r2 = rng.random(m)
-        # Probability of the column bit given the row bit.
-        p_col_given_top = b / (a + b)
-        p_col_given_bottom = (1 - a - b - c) / max(1e-12, 1 - a - b)
-        col_bit = np.where(
-            go_right, r2 < p_col_given_bottom, r2 < p_col_given_top
-        )
-        src |= go_right.astype(np.int64) << bit
-        dst |= col_bit.astype(np.int64) << bit
+    # Probability of the column bit given the row bit.
+    p_col_given_top = b / (a + b)
+    p_col_given_bottom = (1 - a - b - c) / max(1e-12, 1 - a - b)
+    if edge_batch is None or edge_batch >= m:
+        rng = _rng(seed)
+        # Each bit of the vertex id is drawn independently per quadrant.
+        for bit in range(scale):
+            r = rng.random(m)
+            go_right = r >= a + b  # bottom half of the recursion square
+            r2 = rng.random(m)
+            col_bit = np.where(
+                go_right, r2 < p_col_given_bottom, r2 < p_col_given_top
+            )
+            src |= go_right.astype(np.int64) << bit
+            dst |= col_bit.astype(np.int64) << bit
+        perm_rng = rng
+    else:
+        # chunked replay of the one-shot stream: bit ``b``'s row draws
+        # occupy stream positions [b*2m, b*2m+m) and its column draws
+        # [b*2m+m, (b+1)*2m), so chunk [start, stop) of either is just
+        # an advance() to the right offset
+        for start in range(0, m, edge_batch):
+            stop = min(start + edge_batch, m)
+            count = stop - start
+            for bit in range(scale):
+                base = bit * 2 * m
+                r = _rng_at(seed, base + start).random(count)
+                go_right = r >= a + b
+                r2 = _rng_at(seed, base + m + start).random(count)
+                col_bit = np.where(
+                    go_right, r2 < p_col_given_bottom,
+                    r2 < p_col_given_top,
+                )
+                src[start:stop] |= go_right.astype(np.int64) << bit
+                dst[start:stop] |= col_bit.astype(np.int64) << bit
+        perm_rng = _rng_at(seed, scale * 2 * m)
     # Permute ids so hubs are not clustered at id 0 (matters for the
     # locality-aware partitioner experiments).
-    perm = rng.permutation(n)
+    perm = perm_rng.permutation(n)
     src = perm[src]
     dst = perm[dst]
     graph = from_edge_arrays(src, dst, num_vertices=n, name=name)

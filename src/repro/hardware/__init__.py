@@ -1,7 +1,9 @@
 """Virtual multi-GPU hardware: specs, topology, device and timing models."""
 
 from repro.hardware.spec import (
+    ETHERNET_GBPS,
     GPUSpec,
+    IB_LANE_GBPS,
     LinkSpec,
     MachineSpec,
     NVLINK_LANE_GBPS,
@@ -11,8 +13,10 @@ from repro.hardware.spec import (
 )
 from repro.hardware.topology import (
     Topology,
+    cluster,
     dgx1,
     fully_connected,
+    parse_topology,
     ring_topology,
     single_gpu,
 )
@@ -31,8 +35,12 @@ __all__ = [
     "V100_SPEC",
     "NVLINK_LANE_GBPS",
     "PCIE_GBPS",
+    "IB_LANE_GBPS",
+    "ETHERNET_GBPS",
     "Topology",
+    "cluster",
     "dgx1",
+    "parse_topology",
     "ring_topology",
     "fully_connected",
     "single_gpu",

@@ -24,6 +24,8 @@ __all__ = [
     "V100_SPEC",
     "NVLINK_LANE_GBPS",
     "PCIE_GBPS",
+    "IB_LANE_GBPS",
+    "ETHERNET_GBPS",
 ]
 
 #: One NVLink 2.0 lane (V100 generation), GB/s per direction.
@@ -31,6 +33,15 @@ NVLINK_LANE_GBPS = 25.0
 
 #: PCIe 3.0 x16 effective bandwidth used as the no-NVLink fallback, GB/s.
 PCIE_GBPS = 12.0
+
+#: One InfiniBand HDR100 rail between two nodes, GB/s per direction.
+#: Multi-node topologies model the inter-node fabric as counted IB
+#: lanes per node pair, mirroring how NVLink lanes work within a node.
+IB_LANE_GBPS = 12.5
+
+#: 10 GbE management-network fallback for node pairs without any IB
+#: rail — the inter-node analogue of the PCIe floor.
+ETHERNET_GBPS = 1.25
 
 
 @dataclass(frozen=True)

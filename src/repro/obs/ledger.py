@@ -236,14 +236,22 @@ class Ledger:
 
     def commit(self, group_size: int, active_workers: Sequence[int],
                fsteal_applied: bool, stolen_edges: int,
-               migrated_vertices: int) -> None:
-        """Close the entry: chosen plan plus derived accuracy state."""
+               migrated_vertices: int,
+               inter_node_stolen_edges: int = 0) -> None:
+        """Close the entry: chosen plan plus derived accuracy state.
+
+        ``inter_node_stolen_edges`` counts the subset of
+        ``stolen_edges`` whose home and executing GPUs live on
+        different nodes of a hierarchical topology; single-node runs
+        leave it 0 and the serialized entry omits the field, keeping
+        committed golden ledgers byte-identical.
+        """
         entry = self._open
         if entry is None:
             raise LedgerError("commit without begin")
         entry.commit_args = (
             group_size, tuple(active_workers), fsteal_applied,
-            stolen_edges, migrated_vertices,
+            stolen_edges, migrated_vertices, inter_node_stolen_edges,
         )
         if self._counted:
             # math.sqrt == np.sqrt bit for bit (both correctly rounded)
@@ -429,7 +437,7 @@ class Ledger:
                 "rejected_by_gate": bool(rejected_by_gate),
             }
         (group_size, active_workers, fsteal_applied, stolen_edges,
-         migrated_vertices) = raw.commit_args
+         migrated_vertices, inter_node_stolen) = raw.commit_args
         measured = None
         decision_error = None
         if raw.measured is not None:
@@ -469,6 +477,8 @@ class Ledger:
             "measured": measured,
             "decision_error": decision_error,
         }
+        if inter_node_stolen:
+            entry["inter_node_stolen_edges"] = int(inter_node_stolen)
         fp = raw.fingerprint
         if fp is not None:
             if isinstance(fp, (bytes, bytearray)):
@@ -746,9 +756,11 @@ def _entry_line(entry: dict) -> str:
                 f"{_fmt_seconds(fsteal['modeled_overhead'])})"
             )
         elif entry["fsteal_applied"]:
+            inter = entry.get("inter_node_stolen_edges", 0)
+            crossed = f", {inter} inter-node" if inter else ""
             verdict = (
-                f"applied, stole {entry['stolen_edges']} edges "
-                f"(gain {_fmt_seconds(fsteal['gain'])})"
+                f"applied, stole {entry['stolen_edges']} edges"
+                f"{crossed} (gain {_fmt_seconds(fsteal['gain'])})"
             )
         else:
             verdict = "solved but unused"

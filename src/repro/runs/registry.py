@@ -98,6 +98,7 @@ def workload_fingerprint(
     partition_seed: int = 0,
     amortize: bool = True,
     chaos: str = "none",
+    topology: str = "default",
 ) -> Dict[str, object]:
     """The identity half of a run fingerprint (diff precondition).
 
@@ -105,7 +106,11 @@ def workload_fingerprint(
     healthy runs): a chaos run and a healthy run of the same workload
     are *not* commensurable. The key is omitted on healthy runs so
     their fingerprints stay comparable with manifests recorded before
-    fault injection existed.
+    fault injection existed. ``topology`` works the same way: a
+    cluster selector (``nodes=2x4``) changes virtual time, so it joins
+    the fingerprint, but the default single-node shape omits the key
+    to stay comparable with manifests recorded before multi-node
+    support existed.
     """
     fingerprint: Dict[str, object] = {
         "engine": str(engine),
@@ -121,6 +126,8 @@ def workload_fingerprint(
     }
     if str(chaos) != "none":
         fingerprint["chaos"] = str(chaos)
+    if str(topology) != "default":
+        fingerprint["topology"] = str(topology)
     return fingerprint
 
 

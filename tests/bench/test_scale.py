@@ -1,0 +1,171 @@
+"""The scale.* family: registry shape, gate logic, report round-trip.
+
+These tests never touch rmat20 — the real cases run via
+``python -m repro scale`` (CI's ``scale-smoke`` job). What must not
+drift silently is the *gate*: which invariants fail a case, and how a
+fresh report is compared against the committed baseline.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import scale
+from repro.errors import ReproError
+
+
+def _entry(**overrides):
+    """A passing 2x4 report entry; override fields to break it."""
+    entry = {
+        "algorithm": "bfs",
+        "nodes": 2,
+        "gpus_per_node": 4,
+        "num_gpus": 8,
+        "graph": "rmat20x8",
+        "num_edges": 8_000_000,
+        "num_iterations": 6,
+        "csr_bytes": 80_000_000,
+        "resident_budget_bytes": 10_000_000,
+        "capacity_ratio": 8.0,
+        "shards": 16,
+        "peak_resident_bytes": 9_000_000,
+        "shard_loads": 100,
+        "shard_evictions": 80,
+        "virtual_total_ms": 8000.0,
+        "virtual_ms_per_edge": 1e-3,
+        "wall_seconds_in_core": 3.0,
+        "wall_seconds_sharded": 3.3,
+        "wall_overhead": 0.1,
+        "bit_identical": True,
+        "inter_node_stolen_edges": 5000,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _report(**overrides):
+    return {
+        "schema": scale.SCALE_SCHEMA,
+        "cases": {"scale.bfs.2x4": _entry(**overrides)},
+    }
+
+
+class TestRegistry:
+    def test_all_shapes_and_algorithms_registered(self):
+        expected = {
+            f"scale.{algo}.{nodes}x4"
+            for algo in ("bfs", "pr") for nodes in (1, 2, 4)
+        }
+        assert set(scale.SCALE_CASES) == expected
+
+    def test_names_match_case_fields(self):
+        for name, case in scale.SCALE_CASES.items():
+            assert name == (
+                f"scale.{case.algorithm}.{case.num_nodes}"
+                f"x{case.gpus_per_node}"
+            )
+            assert case.num_gpus == case.num_nodes * case.gpus_per_node
+
+    def test_pr_cases_cap_rounds(self):
+        for case in scale.SCALE_CASES.values():
+            if case.algorithm == "pr":
+                assert case.max_rounds == 5
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ReproError, match="no scale case matches"):
+            scale.run_scale_suite(names=["scale.dijkstra"])
+
+
+class TestGate:
+    def test_passing_entry_has_no_violations(self):
+        assert scale.compare_scale_reports(_report(), _report()) == []
+
+    def test_bit_identity_violation(self):
+        problems = scale.compare_scale_reports(
+            _report(bit_identical=False), _report()
+        )
+        assert any("bit-identical" in p for p in problems)
+
+    def test_budget_violation(self):
+        problems = scale.compare_scale_reports(
+            _report(peak_resident_bytes=11_000_000), _report()
+        )
+        assert any("exceed" in p for p in problems)
+
+    def test_capacity_ratio_violation(self):
+        problems = scale.compare_scale_reports(
+            _report(capacity_ratio=4.0), _report()
+        )
+        assert any("resident budget" in p for p in problems)
+
+    def test_wall_overhead_violation(self):
+        problems = scale.compare_scale_reports(
+            _report(wall_overhead=0.30), _report()
+        )
+        assert any("wall-clock" in p for p in problems)
+
+    def test_multi_node_requires_inter_node_steals(self):
+        problems = scale.compare_scale_reports(
+            _report(inter_node_stolen_edges=0), _report()
+        )
+        assert any("two-level stealing" in p for p in problems)
+
+    def test_single_node_needs_no_inter_node_steals(self):
+        current = {
+            "schema": scale.SCALE_SCHEMA,
+            "cases": {
+                "scale.bfs.1x4": _entry(
+                    nodes=1, num_gpus=4, inter_node_stolen_edges=0
+                )
+            },
+        }
+        assert scale.compare_scale_reports(current, current) == []
+
+    def test_virtual_drift_fails_against_baseline(self):
+        problems = scale.compare_scale_reports(
+            _report(virtual_ms_per_edge=1.001e-3), _report()
+        )
+        assert any("baseline" in p for p in problems)
+
+    def test_virtual_noise_band_tolerated(self):
+        wiggle = 1e-3 * (1 + scale.VIRTUAL_TOLERANCE / 2)
+        assert scale.compare_scale_reports(
+            _report(virtual_ms_per_edge=wiggle), _report()
+        ) == []
+
+    def test_case_missing_from_baseline_is_not_gated(self):
+        baseline = {"schema": scale.SCALE_SCHEMA, "cases": {}}
+        assert scale.compare_scale_reports(_report(), baseline) == []
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="schema"):
+            scale.compare_scale_reports(
+                {"schema": "bogus/9", "cases": {}}, _report()
+            )
+
+
+class TestReportIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "report.json"
+        scale.write_scale_report(_report(), path)
+        assert scale.load_scale_report(path) == _report()
+        # stable bytes: indented, sorted, newline-terminated
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            _report(), indent=2, sort_keys=True
+        ) + "\n"
+
+    def test_format_mentions_every_case(self):
+        table = scale.format_scale_report(_report())
+        assert "scale.bfs.2x4" in table
+        assert "inter-steal" in table
+
+    def test_committed_baseline_is_valid(self):
+        baseline = scale.load_scale_report(
+            "benchmarks/scale/baseline.json"
+        )
+        assert baseline["schema"] == scale.SCALE_SCHEMA
+        assert set(baseline["cases"]) == set(scale.SCALE_CASES)
+        # the committed baseline must itself satisfy the invariants
+        assert scale.compare_scale_reports(baseline, baseline) == []

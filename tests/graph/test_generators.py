@@ -56,6 +56,32 @@ def test_rmat_param_validation():
         rmat(8, a=0.9, b=0.1, c=0.1)
 
 
+@pytest.mark.parametrize("edge_batch", [1, 7, 1000, 2048, 10**9])
+def test_rmat_chunked_is_seed_identical(edge_batch):
+    # chunked generation replays slices of the one-shot RNG stream,
+    # so any batch size — including ones that don't divide |E| and
+    # ones larger than |E| — must reproduce the graph bit-for-bit
+    one_shot = rmat(8, 8, seed=11)
+    chunked = rmat(8, 8, seed=11, edge_batch=edge_batch)
+    assert chunked.num_edges == one_shot.num_edges
+    assert np.array_equal(chunked.indptr, one_shot.indptr)
+    assert np.array_equal(chunked.indices, one_shot.indices)
+
+
+def test_rmat_chunked_larger_graph_seed_identical():
+    one_shot = rmat(11, 16, seed=5)
+    chunked = rmat(11, 16, seed=5, edge_batch=4096)
+    assert np.array_equal(chunked.indptr, one_shot.indptr)
+    assert np.array_equal(chunked.indices, one_shot.indices)
+
+
+def test_rmat_chunked_validation():
+    with pytest.raises(GraphError, match="edge_batch"):
+        rmat(8, edge_batch=0)
+    with pytest.raises(GraphError, match="seed"):
+        rmat(8, seed=None, edge_batch=64)
+
+
 def test_erdos_renyi_exact_edges():
     graph = erdos_renyi(100, 500, seed=0)
     assert graph.num_vertices == 100

@@ -1,0 +1,210 @@
+"""Out-of-core graph storage: mmap loads and the sharded format.
+
+Pins the two layers of PR-9's storage work: ``load_graph(mmap_mode=)``
+maps uncompressed archives without copies, and the sharded directory
+format round-trips through :class:`ShardedCSRGraph` bit-identically —
+including every access pattern the engines use (sorted fancy
+indexing, slices, scalars, degree scans) — while the LRU shard cache
+honors its resident-byte budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    load_graph,
+    open_graph_sharded,
+    rmat,
+    save_graph,
+    save_graph_sharded,
+    symmetrize,
+    with_random_weights,
+)
+from repro.graph.gather import gather_edge_positions
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return with_random_weights(rmat(12, 8, seed=7), seed=3)
+
+
+# ----------------------------------------------------------------------
+# load_graph(mmap_mode=...)
+# ----------------------------------------------------------------------
+class TestMmapLoad:
+    def test_uncompressed_round_trip(self, graph, tmp_path):
+        save_graph(graph, tmp_path / "g.npz", compress=False)
+        loaded = load_graph(tmp_path / "g.npz", mmap_mode="r")
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+        assert np.array_equal(loaded.weights, graph.weights)
+
+    def test_mmap_is_zero_copy(self, graph, tmp_path):
+        save_graph(graph, tmp_path / "g.npz", compress=False)
+        loaded = load_graph(tmp_path / "g.npz", mmap_mode="r")
+        # the CSR arrays must still be views over the file mapping,
+        # not RAM copies — that is the whole point of mmap_mode
+        for array in (loaded.indptr, loaded.indices, loaded.weights):
+            assert isinstance(array.base, np.memmap)
+
+    def test_compressed_archive_rejected_for_mmap(self, graph, tmp_path):
+        save_graph(graph, tmp_path / "g.npz", compress=True)
+        with pytest.raises(GraphError, match="compress=False"):
+            load_graph(tmp_path / "g.npz", mmap_mode="r")
+
+    def test_compressed_default_still_loads(self, graph, tmp_path):
+        save_graph(graph, tmp_path / "g.npz")
+        loaded = load_graph(tmp_path / "g.npz")
+        assert np.array_equal(loaded.indices, graph.indices)
+
+    def test_unknown_mmap_mode_rejected(self, graph, tmp_path):
+        save_graph(graph, tmp_path / "g.npz", compress=False)
+        with pytest.raises(GraphError, match="mmap_mode"):
+            load_graph(tmp_path / "g.npz", mmap_mode="r+")
+
+
+# ----------------------------------------------------------------------
+# sharded round trip
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def sharded(graph, tmp_path):
+    save_graph_sharded(graph, tmp_path / "g.shards", num_shards=6)
+    return open_graph_sharded(tmp_path / "g.shards",
+                              resident_bytes=4 << 20)
+
+
+class TestShardedRoundTrip:
+    def test_structure(self, graph, sharded):
+        assert sharded.num_vertices == graph.num_vertices
+        assert sharded.num_edges == graph.num_edges
+        assert sharded.num_shards == 6
+        assert sharded.is_weighted and sharded.directed
+        assert np.array_equal(sharded.indptr, graph.indptr)
+
+    def test_full_materialization(self, graph, sharded):
+        assert np.array_equal(np.asarray(sharded.indices), graph.indices)
+        assert np.array_equal(np.asarray(sharded.weights), graph.weights)
+
+    def test_degrees(self, graph, sharded):
+        assert np.array_equal(sharded.out_degrees(), graph.out_degrees())
+        assert np.array_equal(sharded.in_degrees(), graph.in_degrees())
+        hub = int(np.argmax(graph.out_degrees()))
+        assert sharded.out_degree(hub) == graph.out_degree(hub)
+        assert np.array_equal(sharded.neighbors(hub), graph.neighbors(hub))
+        assert np.array_equal(
+            sharded.edge_weights_of(hub), graph.edge_weights_of(hub)
+        )
+
+    def test_gather_positions_bit_identical(self, graph, sharded):
+        rng = np.random.default_rng(0)
+        frontier = np.unique(rng.integers(0, graph.num_vertices, 800))
+        __, positions = gather_edge_positions(graph, frontier)
+        __, sharded_positions = gather_edge_positions(sharded, frontier)
+        assert np.array_equal(positions, sharded_positions)
+        assert np.array_equal(
+            sharded.indices[sharded_positions], graph.indices[positions]
+        )
+        assert np.array_equal(
+            sharded.weights[sharded_positions], graph.weights[positions]
+        )
+
+    def test_unsorted_and_scalar_indexing(self, graph, sharded):
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(
+            rng.integers(0, graph.num_edges, 1000)
+        )
+        assert np.array_equal(
+            sharded.indices[shuffled], graph.indices[shuffled]
+        )
+        assert sharded.indices[17] == graph.indices[17]
+        assert sharded.indices[-1] == graph.indices[-1]
+        assert np.array_equal(
+            sharded.indices[100:5000], graph.indices[100:5000]
+        )
+        assert sharded.indices[10:10].size == 0
+
+    def test_edge_reductions(self, graph, sharded):
+        assert sharded.weights.min() == graph.weights.min()
+        assert sharded.weights.max() == graph.weights.max()
+        assert sharded.weights.mean() == graph.weights.mean()
+
+    def test_hub_adjacency_never_split(self, graph, sharded):
+        # a vertex's out-edges live in exactly one shard
+        boundaries = sharded.edge_starts
+        assert np.array_equal(
+            boundaries, graph.indptr[sharded.vertex_starts]
+        )
+
+    def test_unweighted_graph(self, tmp_path):
+        g = symmetrize(rmat(10, 6, seed=1))
+        save_graph_sharded(g, tmp_path / "u.shards", num_shards=4)
+        s = open_graph_sharded(tmp_path / "u.shards")
+        assert s.weights is None and not s.is_weighted
+        assert not s.directed
+        assert np.array_equal(np.asarray(s.indices), g.indices)
+
+    def test_not_a_shard_dir(self, tmp_path):
+        with pytest.raises(GraphError, match="sharded graph"):
+            open_graph_sharded(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# the budgeted LRU cache
+# ----------------------------------------------------------------------
+class TestShardCache:
+    def test_budget_forces_evictions_and_peak_honored(
+        self, graph, tmp_path
+    ):
+        save_graph_sharded(graph, tmp_path / "g.shards", num_shards=8)
+        budget = 200_000
+        sharded = open_graph_sharded(
+            tmp_path / "g.shards", resident_bytes=budget
+        )
+        assert np.array_equal(np.asarray(sharded.indices), graph.indices)
+        assert np.array_equal(np.asarray(sharded.weights), graph.weights)
+        stats = sharded.cache_stats()
+        assert stats["evictions"] > 0
+        assert stats["peak_resident_bytes"] <= budget
+        assert stats["resident_bytes"] <= budget
+
+    def test_hits_and_lru_order(self, sharded):
+        sharded.indices[0:10]
+        before = sharded.cache_stats()["loads"]
+        sharded.indices[0:10]
+        stats = sharded.cache_stats()
+        assert stats["loads"] == before
+        assert stats["hits"] > 0
+
+    def test_drop_cache(self, sharded):
+        sharded.indices[0:10]
+        assert sharded.cache_stats()["resident_bytes"] > 0
+        sharded.drop_cache()
+        assert sharded.cache_stats()["resident_bytes"] == 0
+
+    def test_metrics_surface(self, graph, tmp_path):
+        save_graph_sharded(graph, tmp_path / "g.shards", num_shards=4)
+        registry = MetricsRegistry()
+        sharded = open_graph_sharded(
+            tmp_path / "g.shards",
+            resident_bytes=150_000,
+            metrics=registry,
+        )
+        np.asarray(sharded.indices)  # full pass: loads + evictions
+        sharded.indices[0:10]
+        sharded.indices[0:10]  # same shard again: a cache hit
+        snapshot = registry.snapshot()
+        assert snapshot["shard_cache.loads"]["total"] > 0
+        assert snapshot["shard_cache.hits"]["total"] > 0
+        assert snapshot["shard_cache.evictions"]["total"] > 0
+        stats = sharded.cache_stats()
+        assert (
+            snapshot["shard_cache.peak_resident_bytes"]["value"]
+            == stats["peak_resident_bytes"]
+        )
+
+    def test_invalid_budget_rejected(self, graph, tmp_path):
+        save_graph_sharded(graph, tmp_path / "g.shards", num_shards=2)
+        with pytest.raises(GraphError, match="resident_bytes"):
+            open_graph_sharded(tmp_path / "g.shards", resident_bytes=0)
