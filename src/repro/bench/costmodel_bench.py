@@ -1,0 +1,257 @@
+"""The ``costmodel.*`` / ``replay.*`` bench family: the v2 feedback loop.
+
+Three self-gating cases back the cost-model v2 acceptance criteria
+(ROADMAP item 3), all deterministic — virtual-clock and model
+quantities only, so the committed expectations hold on any host:
+
+* ``costmodel.refit_loop`` — the headline feedback loop on a real
+  workload (TX PageRank on 8 GPUs): run under the shipped model,
+  harvest the run's *own* decision ledger, refit, rerun under the
+  fitted model. Gates: the refit beats the shipped polynomial's RMSRE
+  on the harvested samples, **and** total virtual time drops — better
+  per-edge predictions change FSteal/OSteal decisions for the better.
+* ``costmodel.fit_reference`` — ``harvest`` + ``fit_candidates`` over
+  the two committed reference runs. Gate: the winning family's k-fold
+  held-out RMSRE beats the shipped polynomial evaluated on the same
+  folds (the ``repro costmodel fit --from-runs`` CI assertion).
+* ``replay.bit_identity`` — ``repro replay`` of both reference runs
+  under their original model. Gate: bit-identical virtual-time totals
+  and all three byte-level invariants.
+
+``repro costmodel bench`` runs the suite, writes
+``BENCH_costmodel.json``, and exits 1 on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from typing import Callable, Dict, List, Optional
+
+from repro.core.costmodel import (
+    MODEL_FAMILIES,
+    pretrained_default,
+    rmsre,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "COSTMODEL_BENCH_SCHEMA",
+    "COSTMODEL_CASES",
+    "REFERENCE_RUNS",
+    "run_costmodel_suite",
+    "write_costmodel_report",
+    "load_costmodel_report",
+    "format_costmodel_report",
+    "report_violations",
+]
+
+COSTMODEL_BENCH_SCHEMA = "repro-costmodel-bench/1"
+
+#: The committed reference recordings the fit/replay cases feed on.
+REFERENCE_RUNS = (
+    "benchmarks/reference/tx-bfs-4gpu",
+    "benchmarks/reference/tx-sssp-4gpu",
+)
+
+
+def _registry():
+    from repro.runs import RunRegistry
+
+    # path refs resolve against the filesystem; the registry root is
+    # never written, so a throwaway directory keeps the bench hermetic
+    return RunRegistry(tempfile.mkdtemp(prefix="repro-costmodel-"))
+
+
+def _case_refit_loop() -> dict:
+    """Run -> harvest own ledger -> refit -> rerun, on TX PageRank."""
+    import repro
+    from repro.graph import datasets
+
+    graph = datasets.load("TX")
+    baseline = repro.run(graph, "pr", num_gpus=8)
+    samples = baseline.ledger.export_samples()
+    shipped_rmsre = rmsre(
+        pretrained_default().predict(samples.features), samples.costs
+    )
+    model = MODEL_FAMILIES["tree"]()
+    fit_report = model.fit(samples.features, samples.costs)
+    refit = repro.run(graph, "pr", num_gpus=8, cost_model=model)
+    result = {
+        "workload": "gum/pr/TX/8gpu",
+        "family": "tree",
+        "samples": int(samples.costs.size),
+        "default_total_ms": float(baseline.total_ms),
+        "fitted_total_ms": float(refit.total_ms),
+        "delta_ms": float(baseline.total_ms - refit.total_ms),
+        "shipped_rmsre": float(shipped_rmsre),
+        "fitted_rmsre": float(fit_report.train_rmsre),
+    }
+    violations = []
+    if result["fitted_rmsre"] >= result["shipped_rmsre"]:
+        violations.append(
+            f"refit RMSRE {result['fitted_rmsre']:.4f} does not beat "
+            f"the shipped model's {result['shipped_rmsre']:.4f} on "
+            "the harvested samples"
+        )
+    if result["delta_ms"] <= 0.0:
+        violations.append(
+            "the fitted model did not lower total virtual time "
+            f"({result['default_total_ms']:.4f} ms -> "
+            f"{result['fitted_total_ms']:.4f} ms)"
+        )
+    result["violations"] = violations
+    return result
+
+
+def _case_fit_reference() -> dict:
+    """Held-out fit quality over the committed reference corpus."""
+    from repro.core.costmodel_v2 import fit_candidates, harvest
+
+    corpus = harvest(_registry(), refs=REFERENCE_RUNS)
+    outcome = fit_candidates(corpus, model="auto", folds=5, seed=0)
+    result = {
+        "refs": list(REFERENCE_RUNS),
+        "samples": len(corpus),
+        "family": outcome.family,
+        "holdout_rmsre": float(outcome.holdout_rmsre),
+        "shipped_rmsre": float(outcome.baseline.cv_rmsre),
+        "candidates": {
+            name: float(report.cv_rmsre)
+            for name, report in outcome.candidates.items()
+        },
+    }
+    violations = []
+    if not outcome.beats_shipped:
+        violations.append(
+            f"held-out RMSRE {outcome.holdout_rmsre:.4f} does not "
+            f"beat the shipped polynomial's "
+            f"{outcome.baseline.cv_rmsre:.4f}"
+        )
+    result["violations"] = violations
+    return result
+
+
+def _case_replay_bit_identity() -> dict:
+    """Replay under the original model reproduces the recordings."""
+    from repro.replay import replay_run
+
+    registry = _registry()
+    runs = []
+    violations = []
+    for ref in REFERENCE_RUNS:
+        outcome = replay_run(registry, ref)
+        runs.append({
+            "ref": ref,
+            "recorded_total_ms": float(outcome.recorded_total_ms),
+            "replayed_total_ms": float(outcome.replayed_total_ms),
+            "bit_identical": bool(outcome.bit_identical),
+            "checks": {
+                k: bool(v) for k, v in outcome.checks.items()
+            },
+        })
+        if not outcome.bit_identical:
+            failed = [k for k, v in outcome.checks.items() if not v]
+            violations.append(
+                f"replay of {ref} under the original model is not "
+                f"bit-identical (failed: {failed or 'total mismatch'})"
+            )
+    return {"runs": runs, "violations": violations}
+
+
+COSTMODEL_CASES: Dict[str, Callable[[], dict]] = {
+    "costmodel.refit_loop": _case_refit_loop,
+    "costmodel.fit_reference": _case_fit_reference,
+    "replay.bit_identity": _case_replay_bit_identity,
+}
+
+
+def run_costmodel_suite(
+    names: Optional[List[str]] = None,
+) -> dict:
+    """Run (a filtered subset of) the suite; returns the report dict."""
+    if names:
+        selected = sorted(
+            case for case in COSTMODEL_CASES
+            if any(fragment in case for fragment in names)
+        )
+        if not selected:
+            raise ReproError(
+                f"no costmodel bench case matches {names!r}; known: "
+                + ", ".join(sorted(COSTMODEL_CASES))
+            )
+    else:
+        selected = sorted(COSTMODEL_CASES)
+    return {
+        "schema": COSTMODEL_BENCH_SCHEMA,
+        "cases": {name: COSTMODEL_CASES[name]() for name in selected},
+    }
+
+
+def report_violations(report: dict) -> List[str]:
+    """Flattened ``case: violation`` lines (empty = gate passes)."""
+    lines = []
+    for name in sorted(report.get("cases", {})):
+        for violation in report["cases"][name].get("violations", []):
+            lines.append(f"{name}: {violation}")
+    return lines
+
+
+def write_costmodel_report(report: dict, path) -> None:
+    """Write the report as stable JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_costmodel_report(path) -> dict:
+    """Read a report back (schema-checked)."""
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("schema") != COSTMODEL_BENCH_SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported costmodel bench schema "
+            f"{report.get('schema')!r} "
+            f"(expected {COSTMODEL_BENCH_SCHEMA!r})"
+        )
+    return report
+
+
+def format_costmodel_report(report: dict) -> str:
+    """Human-readable suite summary."""
+    lines = []
+    cases = report.get("cases", {})
+    if "costmodel.refit_loop" in cases:
+        case = cases["costmodel.refit_loop"]
+        lines.append(
+            f"costmodel.refit_loop    : {case['workload']} "
+            f"{case['default_total_ms']:.4f} -> "
+            f"{case['fitted_total_ms']:.4f} ms "
+            f"({case['delta_ms']:+.4f} ms), RMSRE "
+            f"{case['shipped_rmsre']:.4f} -> {case['fitted_rmsre']:.4f} "
+            f"({case['family']}, {case['samples']} samples)"
+        )
+    if "costmodel.fit_reference" in cases:
+        case = cases["costmodel.fit_reference"]
+        lines.append(
+            f"costmodel.fit_reference : {case['family']} held-out "
+            f"RMSRE {case['holdout_rmsre']:.4f} vs shipped "
+            f"{case['shipped_rmsre']:.4f} "
+            f"({case['samples']} samples, "
+            f"{len(case['refs'])} reference runs)"
+        )
+    if "replay.bit_identity" in cases:
+        case = cases["replay.bit_identity"]
+        verdicts = ", ".join(
+            f"{run['ref'].rsplit('/', 1)[-1]}="
+            f"{'ok' if run['bit_identical'] else 'FAIL'}"
+            for run in case["runs"]
+        )
+        lines.append(f"replay.bit_identity     : {verdicts}")
+    violations = report_violations(report)
+    if violations:
+        lines.append("violations:")
+        lines.extend(f"  {line}" for line in violations)
+    else:
+        lines.append(f"gate: ok ({len(cases)} case(s))")
+    return "\n".join(lines)

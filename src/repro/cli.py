@@ -268,6 +268,20 @@ def _registry_from_args(args: argparse.Namespace):
     return RunRegistry(root)
 
 
+def _cost_model_label(spec: str) -> str:
+    """Workload-fingerprint label of a ``--cost-model`` operand.
+
+    Artifact paths fingerprint as their content-addressed
+    ``artifact:<family>@<digest>`` label, so the same fitted model
+    recorded from two checkouts stays comparable.
+    """
+    if spec in ("default", "oracle", "uniform"):
+        return spec
+    from repro.core.costmodel_v2 import load_artifact
+
+    return load_artifact(spec).artifact_label
+
+
 def _workload_from_args(args: argparse.Namespace, engine: str) -> dict:
     from repro.runs import workload_fingerprint
 
@@ -279,7 +293,7 @@ def _workload_from_args(args: argparse.Namespace, engine: str) -> dict:
         num_gpus=args.gpus,
         partitioner=args.partitioner,
         solver=args.solver,
-        cost_model=args.cost_model,
+        cost_model=_cost_model_label(args.cost_model),
         amortize=not args.no_amortize,
         chaos=chaos.scenario.name if chaos is not None else "none",
         topology=getattr(args, "topology", None) or "default",
@@ -643,6 +657,116 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_costmodel_fit(args: argparse.Namespace) -> int:
+    """Fit cost-model v2 from recorded runs; emit an artifact."""
+    from repro.core.costmodel_v2 import (
+        fit_candidates,
+        harvest,
+        save_artifact,
+    )
+
+    registry = _registry_from_args(args)
+    corpus = harvest(registry, refs=args.from_runs or None)
+    outcome = fit_candidates(
+        corpus,
+        model=args.model,
+        folds=args.folds,
+        holdout_frac=args.holdout_frac,
+        seed=args.seed,
+    )
+    artifact = save_artifact(
+        outcome.model, args.out, provenance=outcome.report()
+    )
+    report = outcome.report()
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        payload = dict(report)
+        payload["artifact"] = args.out
+        payload["artifact_label"] = (
+            f"artifact:{artifact['family']}@{artifact['digest'][:8]}"
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        corpus_info = report["corpus"]
+        print(
+            f"harvested {corpus_info['samples']} samples from "
+            f"{len(corpus_info['runs'])} run(s) "
+            f"({len(corpus_info['duplicates'])} duplicate(s) skipped, "
+            f"{len(corpus_info['empty_runs'])} unledgered)"
+        )
+        for name in sorted(report["candidates"]):
+            candidate = report["candidates"][name]
+            marker = "  <-- chosen" if name == report["family"] else ""
+            print(f"  {name:12s}: held-out RMSRE "
+                  f"{candidate['cv_rmsre']:.4f}{marker}")
+        print(f"  {'shipped':12s}: held-out RMSRE "
+              f"{report['shipped_rmsre']:.4f}  (baseline)")
+        verdict = "beats" if report["beats_shipped"] else \
+            "DOES NOT beat"
+        print(f"{report['family']} {verdict} the shipped model "
+              f"({report['holdout_rmsre']:.4f} vs "
+              f"{report['shipped_rmsre']:.4f}); artifact: {args.out}")
+        if args.report:
+            print(f"report: {args.report}")
+    if args.gate and not report["beats_shipped"]:
+        print("gate: fitted model does not beat the shipped "
+              "polynomial held out", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_costmodel_bench(args: argparse.Namespace) -> int:
+    """Run the costmodel.* bench family; exit 1 on any violation."""
+    from repro.bench import costmodel_bench
+
+    if args.list_cases:
+        for name in sorted(costmodel_bench.COSTMODEL_CASES):
+            print(name)
+        return 0
+    try:
+        report = costmodel_bench.run_costmodel_suite(names=args.filter)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_path = _trace_path(args.out)
+    costmodel_bench.write_costmodel_report(report, out_path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(costmodel_bench.format_costmodel_report(report))
+        print(f"report: {out_path}")
+    violations = costmodel_bench.report_violations(report)
+    if violations:
+        for line in violations:
+            print(f"costmodel gate: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded run, optionally under modified physics."""
+    from repro.replay import format_replay_result, replay_run
+
+    result = replay_run(
+        _registry_from_args(args),
+        args.ref,
+        cost_model=args.cost_model,
+        topology=args.topology,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_replay_result(result))
+    if args.check and not result.bit_identical:
+        print("replay check: not bit-identical to the recording",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_runs_record(args: argparse.Namespace) -> int:
     """Run one workload fully instrumented and archive it."""
     metrics = MetricsRegistry()
@@ -921,8 +1045,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PARTITIONERS))
         p.add_argument("--solver", default="greedy",
                        choices=("greedy", "lp", "bnb", "highs"))
-        p.add_argument("--cost-model", default="default",
-                       choices=("default", "oracle", "uniform"))
+        p.add_argument(
+            "--cost-model", default="default", metavar="NAME|PATH",
+            help="cost model: 'default' (shipped polynomial), "
+                 "'oracle', 'uniform', or a path to a "
+                 "repro-costmodel/1 artifact from "
+                 "'repro costmodel fit' (see docs/costmodel.md)",
+        )
         p.add_argument("--no-fsteal", action="store_true")
         p.add_argument("--no-osteal", action="store_true")
         p.add_argument("--no-hub-cache", action="store_true")
@@ -1120,6 +1249,117 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--json", action="store_true",
                          help="print the report JSON instead of a table")
     p_scale.set_defaults(func=_cmd_scale)
+
+    p_costmodel = sub.add_parser(
+        "costmodel",
+        help="cost-model v2: fit from recorded runs, emit "
+             "repro-costmodel/1 artifacts, run the gated bench",
+    )
+    costmodel_sub = p_costmodel.add_subparsers(
+        dest="costmodel_command", required=True
+    )
+
+    p_fit = costmodel_sub.add_parser(
+        "fit",
+        help="harvest ledger samples from recorded runs and fit "
+             "candidate models with held-out RMSRE reporting",
+    )
+    p_fit.add_argument(
+        "--from-runs", nargs="+", metavar="REF", default=None,
+        help="run references to harvest (ids, prefixes, 'latest', or "
+             "run directory paths such as "
+             "benchmarks/reference/tx-bfs-4gpu); default: every "
+             "ledgered run in the registry",
+    )
+    p_fit.add_argument(
+        "--model", default="auto",
+        choices=("auto", "polynomial", "linear", "tree", "svr"),
+        help="candidate family (default: auto = pick the lowest "
+             "held-out RMSRE)",
+    )
+    p_fit.add_argument(
+        "--folds", type=int, default=5,
+        help="cross-validation folds (default %(default)s)",
+    )
+    p_fit.add_argument(
+        "--holdout-frac", type=float, default=None, metavar="F",
+        help="use one fractional holdout split instead of k folds "
+             "(e.g. 0.2 holds out 20%% of the samples)",
+    )
+    p_fit.add_argument(
+        "--seed", type=int, default=0,
+        help="shuffle seed of the held-out splits (default %(default)s)",
+    )
+    p_fit.add_argument(
+        "--out", metavar="PATH", default="costmodel.json",
+        help="repro-costmodel/1 artifact output (default: %(default)s)",
+    )
+    p_fit.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the full fit report as JSON",
+    )
+    p_fit.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 unless the fitted model beats the shipped "
+             "polynomial held out (the CI assertion)",
+    )
+    p_fit.add_argument("--json", action="store_true")
+    add_runs_dir_arg(p_fit)
+    p_fit.set_defaults(func=_cmd_costmodel_fit)
+
+    p_cm_bench = costmodel_sub.add_parser(
+        "bench",
+        help="run the costmodel.*/replay.* bench family; exit 1 on "
+             "any gate violation",
+    )
+    p_cm_bench.add_argument(
+        "--out", metavar="PATH", default="BENCH_costmodel.json",
+        help="machine-readable report output (default: %(default)s)",
+    )
+    p_cm_bench.add_argument(
+        "--filter", action="append", default=None, metavar="SUBSTR",
+        help="only run cases whose name contains SUBSTR (repeatable)",
+    )
+    p_cm_bench.add_argument(
+        "--list-cases", action="store_true",
+        help="print the registered case names and exit",
+    )
+    p_cm_bench.add_argument("--json", action="store_true",
+                            help="print the report JSON instead of a "
+                                 "table")
+    p_cm_bench.set_defaults(func=_cmd_costmodel_bench)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a recorded run's decision sequence, optionally "
+             "under a different cost model or topology, with "
+             "per-iteration error attribution",
+    )
+    p_replay.add_argument(
+        "ref",
+        help="run reference (id, prefix, 'latest', or a run directory "
+             "path such as benchmarks/reference/tx-bfs-4gpu)",
+    )
+    p_replay.add_argument(
+        "--cost-model", metavar="NAME|PATH", default=None,
+        help="replay under this model instead of the recorded one: "
+             "'default', 'uniform', or a repro-costmodel/1 artifact "
+             "path; omit for the original model (bit-identical)",
+    )
+    p_replay.add_argument(
+        "--topology", metavar="SPEC", default=None,
+        help="rescale the recorded communication time under this "
+             "machine shape ('dgx1' or 'nodes=NxG'; worker count must "
+             "match the recording)",
+    )
+    p_replay.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the replay is bit-identical to the "
+             "recording (original model, no overrides)",
+    )
+    p_replay.add_argument("--json", action="store_true")
+    add_runs_dir_arg(p_replay)
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_runs = sub.add_parser(
         "runs",

@@ -19,6 +19,7 @@ the measured wall time of the decision code if requested, or nothing).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
@@ -78,7 +79,9 @@ class GumConfig:
     cost_model:
         ``"default"`` (pretrained degree-4 polynomial), ``"oracle"``
         (ground truth — Exp-7's upper bound), ``"uniform"`` (bandwidth
-        only), or any :class:`CostModel` instance.
+        only), any :class:`CostModel` instance, or a path to a
+        ``repro-costmodel/1`` artifact written by
+        ``repro costmodel fit`` (see ``docs/costmodel.md``).
     t1_min_edges:
         FSteal fires only when the busiest worker has at least this
         many active edges (Example 5, condition 1).
@@ -154,7 +157,16 @@ class GumConfig:
             return OracleCostModel()
         if self.cost_model == "uniform":
             return UniformCostModel()
-        raise EngineError(f"unknown cost model {self.cost_model!r}")
+        if os.path.isfile(self.cost_model):
+            # a repro-costmodel/1 artifact from `repro costmodel fit`
+            from repro.core.costmodel_v2 import load_artifact
+
+            return load_artifact(self.cost_model)
+        raise EngineError(
+            f"unknown cost model {self.cost_model!r}; expected "
+            "'default', 'oracle', 'uniform', a CostModel instance, or "
+            "a path to a repro-costmodel/1 artifact"
+        )
 
     def resolve_solver(self):
         """Materialize the configured FSteal solver."""
@@ -353,10 +365,16 @@ class GumScheduler(Scheduler):
             ),
             ledger=(
                 Ledger(
+                    # artifact-backed models carry a content-addressed
+                    # label that stays stable across filesystem paths
                     model=(
-                        self._config.cost_model
-                        if isinstance(self._config.cost_model, str)
-                        else type(self._cost_model).__name__
+                        getattr(self._cost_model, "artifact_label",
+                                None)
+                        or (
+                            self._config.cost_model
+                            if isinstance(self._config.cost_model, str)
+                            else type(self._cost_model).__name__
+                        )
                     ),
                     amortize=self._config.amortize,
                     fingerprint_tolerance=(

@@ -15,7 +15,8 @@ unit weights for SSSP on unweighted graphs) and returns the usual
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.algorithms import GASAlgorithm, make_algorithm
 from repro.backend import BACKEND_NAMES
@@ -30,6 +31,9 @@ from repro.obs.tracer import Tracer
 from repro.partition.partitioners import make_partition
 from repro.runtime import BSPEngine, EngineOptions, RunResult
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.costmodel import CostModel
+
 __all__ = ["run"]
 
 
@@ -40,6 +44,7 @@ def run(
     num_gpus: int = 8,
     partitioner: str = "random",
     gum_config: Optional[GumConfig] = None,
+    cost_model: Optional[Union[str, "CostModel"]] = None,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -66,6 +71,14 @@ def run(
         ``random`` / ``seg`` / ``metis``.
     gum_config:
         Arbitrator overrides (GUM only).
+    cost_model:
+        Shorthand for ``gum_config.cost_model`` (GUM only): a model
+        name (``default``/``oracle``/``uniform``), a
+        :class:`~repro.core.costmodel.CostModel` instance, or a path
+        to a ``repro-costmodel/1`` artifact written by
+        ``repro costmodel fit`` — so a freshly fitted model plugs in
+        as ``repro.run(graph, "bfs", cost_model="model.json")``.
+        Overrides any ``gum_config.cost_model`` already set.
     tracer / metrics:
         Observability hooks (:mod:`repro.obs`): pass a
         :class:`~repro.obs.tracer.Tracer` and/or
@@ -92,6 +105,15 @@ def run(
     :class:`~repro.obs.ledger.Ledger`): every OSteal/FSteal decision
     with its features, predicted vs measured cost, and drift analytics.
     """
+    if cost_model is not None:
+        if engine != "gum":
+            raise EngineError(
+                "cost_model= only applies to the gum engine; "
+                f"engine={engine!r} has no cost model"
+            )
+        gum_config = replace(
+            gum_config or GumConfig(), cost_model=cost_model
+        )
     if isinstance(algorithm, str):
         algorithm = make_algorithm(algorithm)
     if algorithm.needs_symmetric and graph.directed:

@@ -27,7 +27,9 @@ equality on every render.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict, List, NamedTuple, Optional, Sequence, Tuple, Union,
+)
 
 import numpy as np
 
@@ -41,6 +43,7 @@ __all__ = [
     "DRIFT_WARMUP",
     "Ledger",
     "LedgerError",
+    "LedgerSamples",
     "explain_lines",
     "reconstruct_rmsre",
 ]
@@ -62,6 +65,21 @@ _DRIFT_CLAMP = 1e9
 
 class LedgerError(ReproError):
     """Malformed, missing, or unusable decision-ledger payload."""
+
+
+class LedgerSamples(NamedTuple):
+    """Positive-actual audit samples, aligned row for row.
+
+    ``features`` (N, 6) and ``costs`` (N,) are the training pairs;
+    ``iterations`` and ``gpus`` carry each sample's provenance — the
+    superstep it was recorded in and the worker that owned the
+    fragment — in the exact order the arbitrator fed its online RMSRE.
+    """
+
+    features: np.ndarray
+    costs: np.ndarray
+    iterations: np.ndarray
+    gpus: np.ndarray
 
 
 def reconstruct_rmsre(entries: Sequence[dict]) -> Optional[float]:
@@ -552,28 +570,38 @@ class Ledger:
                 counts[status] += 1
         return counts
 
-    def export_samples(self) -> Tuple[np.ndarray, np.ndarray]:
-        """``(features, costs)`` training pairs for cost-model fitting.
+    def export_samples(self) -> "LedgerSamples":
+        """Training samples with provenance for cost-model fitting.
 
         Rows are the recorded 6-entry feature vectors; costs are the
-        measured (ground-truth) per-edge seconds. Non-positive actuals
-        are excluded, so the result feeds ``CostModel.fit`` directly.
+        measured (ground-truth) per-edge seconds, so ``features`` and
+        ``costs`` feed ``CostModel.fit`` directly. Each row also
+        carries the iteration it was recorded in and the GPU the
+        fragment was owned by, so replay error attribution never has
+        to re-derive feed order from entry position. Non-positive
+        actuals are excluded.
         """
         features: List[List[float]] = []
         costs: List[float] = []
+        iterations: List[int] = []
+        gpus: List[int] = []
         for entry in self.entries:
             for sample in entry["samples"]:
                 if sample["actual"] <= 0:
                     continue
                 features.append(sample["features"])
                 costs.append(sample["actual"])
+                iterations.append(entry["iteration"])
+                gpus.append(sample["worker"])
         if not features:
             raise LedgerError(
                 "ledger holds no positive-cost samples to export"
             )
-        return (
-            np.asarray(features, dtype=np.float64),
-            np.asarray(costs, dtype=np.float64),
+        return LedgerSamples(
+            features=np.asarray(features, dtype=np.float64),
+            costs=np.asarray(costs, dtype=np.float64),
+            iterations=np.asarray(iterations, dtype=np.int64),
+            gpus=np.asarray(gpus, dtype=np.int64),
         )
 
     def analytics(self) -> dict:

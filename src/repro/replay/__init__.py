@@ -1,0 +1,28 @@
+"""Trace replay: re-execute recorded runs under modified models.
+
+See :mod:`repro.replay.simulator` for the semantics. The headline
+invariant: replaying a recorded run under its *original* cost model is
+bit-identical to the recording in virtual-time totals — the
+``repro replay --check`` gate CI runs against the committed reference
+runs.
+"""
+
+from repro.replay.simulator import (
+    REPLAY_SCHEMA,
+    ReplayError,
+    ReplayIteration,
+    ReplayRunResult,
+    format_replay_result,
+    replay_run,
+    resolve_replay_model,
+)
+
+__all__ = [
+    "REPLAY_SCHEMA",
+    "ReplayError",
+    "ReplayIteration",
+    "ReplayRunResult",
+    "format_replay_result",
+    "replay_run",
+    "resolve_replay_model",
+]

@@ -217,11 +217,27 @@ def test_ledger_counts_skipped_samples():
 
 
 def test_export_samples_round_trips_through_fit(recorded):
-    X, y = recorded.ledger.export_samples()
-    assert X.shape == (recorded.ledger.samples, 6)
-    assert (y > 0).all()
+    samples = recorded.ledger.export_samples()
+    assert samples.features.shape == (recorded.ledger.samples, 6)
+    assert (samples.costs > 0).all()
     model = MODEL_FAMILIES["polynomial"]()
-    model.fit(X, y)
+    model.fit(samples.features, samples.costs)
+
+
+def test_export_samples_carry_iteration_and_gpu(recorded):
+    ledger = recorded.ledger
+    samples = ledger.export_samples()
+    assert samples.iterations.shape == samples.costs.shape
+    assert samples.gpus.shape == samples.costs.shape
+    # rebuild the same provenance by walking entries in feed order
+    expected = [
+        (entry["iteration"], sample["worker"])
+        for entry in ledger.entries
+        for sample in entry["samples"]
+        if sample["actual"] > 0
+    ]
+    assert list(zip(samples.iterations.tolist(),
+                    samples.gpus.tolist())) == expected
 
 
 def test_export_samples_raises_when_empty():

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Keep the CI workflows on the shared rails.
+
+Two failure modes creep into GitHub Actions workflows as jobs are
+copy-pasted and then drift:
+
+* a job without ``timeout-minutes`` hangs for GitHub's six-hour
+  default when something deadlocks, burning runner quota and delaying
+  every queued PR behind it;
+* a job that re-spells the setup preamble by hand (setup-python,
+  pip cache, install) instead of using the shared
+  ``.github/actions/setup-repro`` composite action silently diverges —
+  a Python bump or an install-flag fix lands in four jobs and misses
+  the fifth.
+
+This checker parses every workflow under ``.github/workflows`` and
+requires each job to declare ``timeout-minutes`` and each job that
+defines steps to invoke the composite action. ``reusable-workflow``
+jobs (``uses:`` at the job level, no ``steps``) only need the
+timeout where GitHub allows one, so they are exempt from the action
+requirement.
+
+Usage: ``python tools/check_ci.py [workflow.yml ...]`` (defaults to
+``.github/workflows``). Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import List, Tuple
+
+import yaml
+
+#: the shared preamble every step-defining job must run
+SETUP_ACTION = "./.github/actions/setup-repro"
+
+WORKFLOWS_DIR = pathlib.Path(".github/workflows")
+
+# (file, job-name, message)
+Violation = Tuple[pathlib.Path, str, str]
+
+
+def _job_uses_action(job: dict, action: str = SETUP_ACTION) -> bool:
+    """True when some step invokes the composite setup action."""
+    for step in job.get("steps") or []:
+        uses = step.get("uses") if isinstance(step, dict) else None
+        # version pins ("@...") would be meaningless on a local path
+        # action but tolerate them rather than miscount the job
+        if isinstance(uses, str) and uses.split("@")[0] == action:
+            return True
+    return False
+
+
+def check_workflow(path: pathlib.Path) -> List[Violation]:
+    """All violations in one workflow file."""
+    try:
+        data = yaml.safe_load(path.read_text())
+    except yaml.YAMLError as exc:
+        return [(path, "-", f"cannot parse: {exc}")]
+    if not isinstance(data, dict):
+        return [(path, "-", "not a workflow mapping")]
+    violations: List[Violation] = []
+    jobs = data.get("jobs")
+    if not isinstance(jobs, dict):
+        return [(path, "-", "workflow declares no jobs")]
+    for name, job in jobs.items():
+        if not isinstance(job, dict):
+            violations.append((path, name, "job is not a mapping"))
+            continue
+        if "uses" in job and "steps" not in job:
+            # reusable-workflow call: no steps of its own and GitHub
+            # rejects timeout-minutes here; nothing to check
+            continue
+        if "timeout-minutes" not in job:
+            violations.append((
+                path, name,
+                "missing timeout-minutes (GitHub's default is 6 "
+                "hours; every job must bound its own runtime)",
+            ))
+        if not _job_uses_action(job):
+            violations.append((
+                path, name,
+                f"does not use the {SETUP_ACTION} composite action "
+                "(shared setup preamble; see "
+                ".github/actions/setup-repro/action.yml)",
+            ))
+    return violations
+
+
+def check_workflows(paths) -> List[Violation]:
+    """Violations across the given workflow files/directories."""
+    violations: List[Violation] = []
+    for target in paths:
+        target = pathlib.Path(target)
+        files = (
+            sorted(p for p in target.iterdir()
+                   if p.suffix in (".yml", ".yaml"))
+            if target.is_dir() else [target]
+        )
+        for file in files:
+            violations.extend(check_workflow(file))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or [WORKFLOWS_DIR]
+    missing = [t for t in targets if not pathlib.Path(t).exists()]
+    if missing:
+        print(f"not found: {', '.join(map(str, missing))} "
+              "(run from the repo root)", file=sys.stderr)
+        return 1
+    violations = check_workflows(targets)
+    for path, job, message in violations:
+        print(f"{path}: job {job!r}: {message}")
+    if violations:
+        print(f"{len(violations)} CI workflow violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
